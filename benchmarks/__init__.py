@@ -1,0 +1,17 @@
+"""Benchmark harnesses regenerating every table and figure of the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module covers one artifact:
+
+- ``bench_table1_matrix.py`` — Table 1 (scenario matrix),
+- ``bench_fig7_normal.py`` — Figure 7 (regular LAN/WAN throughput),
+- ``bench_fig8_partitions.py`` — Figure 8a/8b/8c (partition down-time and
+  chained-scenario throughput, swept over election timeouts),
+- ``bench_fig9_reconfig.py`` — Figure 9 (reconfiguration),
+- ``bench_ablations.py`` — design-choice ablations from DESIGN.md.
+
+Reproduced series are printed and persisted under ``benchmarks/results/``.
+"""

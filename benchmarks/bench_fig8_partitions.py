@@ -1,0 +1,164 @@
+"""Figure 8 — resilience to partial connectivity.
+
+- **8a** quorum-loss down-time per protocol, swept over election timeouts:
+  Omni-Paxos recovers in a constant ~3-4 timeouts; Raft recovers with term
+  churn (and higher variance); Raft PV+CQ recovers; VR and Multi-Paxos are
+  down for the whole partition.
+- **8b** constrained-election down-time: only Omni-Paxos (constant ~2-3
+  timeouts) and Multi-Paxos recover.
+- **8c** chained scenario: decided requests during the partition; Multi-
+  Paxos is consistently lowest (leader-change livelock), Omni-Paxos is the
+  most stable with a single leader change.
+"""
+
+import pytest
+
+from repro.sim.harness import PROTOCOLS
+from repro.sim.scenarios import run_partition_scenario
+from repro.util.stats import mean_ci
+
+from benchmarks.conftest import (
+    ELECTION_TIMEOUTS_MS,
+    FULL,
+    record_rows,
+    run_duration_ms,
+)
+
+SEEDS = (1, 2, 3, 4, 5) if FULL else (1, 2, 3)
+
+_downtimes = {}  # (fig, protocol, timeout) -> CI or "deadlock"
+_chained = {}    # (protocol, timeout) -> decided CI
+
+
+def _sweep(protocol, scenario, timeout):
+    duration = max(run_duration_ms(), 40 * timeout)
+    samples = []
+    deadlocked = 0
+    decided = []
+    for seed in SEEDS:
+        result = run_partition_scenario(
+            protocol, scenario,
+            election_timeout_ms=timeout,
+            partition_duration_ms=duration,
+            seed=seed,
+        )
+        decided.append(result.decided_during_partition)
+        if result.recovered:
+            samples.append(result.downtime_ms)
+        else:
+            deadlocked += 1
+    return samples, deadlocked, decided
+
+
+@pytest.mark.parametrize("timeout", ELECTION_TIMEOUTS_MS)
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_fig8a_quorum_loss(benchmark, protocol, timeout):
+    samples, deadlocked, _dec = benchmark.pedantic(
+        _sweep, args=(protocol, "quorum_loss", timeout),
+        rounds=1, iterations=1)
+    key = ("8a", protocol, timeout)
+    if deadlocked == len(SEEDS):
+        _downtimes[key] = "deadlock"
+    else:
+        _downtimes[key] = mean_ci(samples)
+    if protocol in ("omni", "raft", "raft_pvcq"):
+        assert deadlocked == 0, f"{protocol} must recover from quorum-loss"
+        if protocol == "omni":
+            assert mean_ci(samples).mean <= 6 * timeout
+    else:
+        assert deadlocked == len(SEEDS), f"{protocol} must deadlock"
+
+
+@pytest.mark.parametrize("timeout", ELECTION_TIMEOUTS_MS)
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_fig8b_constrained(benchmark, protocol, timeout):
+    samples, deadlocked, _dec = benchmark.pedantic(
+        _sweep, args=(protocol, "constrained", timeout),
+        rounds=1, iterations=1)
+    key = ("8b", protocol, timeout)
+    if deadlocked == len(SEEDS):
+        _downtimes[key] = "deadlock"
+    else:
+        _downtimes[key] = mean_ci(samples)
+    if protocol in ("omni", "multipaxos"):
+        assert deadlocked == 0, f"{protocol} must recover from constrained"
+        if protocol == "omni":
+            assert mean_ci(samples).mean <= 5 * timeout
+    else:
+        assert deadlocked == len(SEEDS), f"{protocol} must deadlock"
+
+
+@pytest.mark.parametrize("timeout", ELECTION_TIMEOUTS_MS[:2])
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_fig8c_chained(benchmark, protocol, timeout):
+    _samples, _deadlocked, decided = benchmark.pedantic(
+        _sweep, args=(protocol, "chained", timeout),
+        rounds=1, iterations=1)
+    _chained[(protocol, timeout)] = mean_ci([float(d) for d in decided])
+    assert all(d > 0 for d in decided), "chained must keep some progress"
+
+
+def test_fig8_print(benchmark):
+    def build():
+        lines = []
+        for fig, scenario in (("8a", "quorum-loss"), ("8b", "constrained")):
+            lines.append(f"--- Figure {fig}: {scenario} down-time (ms) ---")
+            for protocol in PROTOCOLS:
+                cells = []
+                for timeout in ELECTION_TIMEOUTS_MS:
+                    value = _downtimes.get((fig, protocol, timeout))
+                    if value is None:
+                        cells.append(f"{'n/a':>18s}")
+                    elif value == "deadlock":
+                        cells.append(f"{'deadlock':>18s}")
+                    else:
+                        cells.append(f"{value.mean:10.0f}±{value.half_width:6.0f}")
+                lines.append(f"{protocol:12s}" + "  ".join(cells))
+        lines.append("--- Figure 8c: chained, decided during partition ---")
+        for protocol in PROTOCOLS:
+            cells = []
+            for timeout in ELECTION_TIMEOUTS_MS[:2]:
+                ci = _chained.get((protocol, timeout))
+                cells.append(f"{ci.mean:10.0f}±{ci.half_width:6.0f}"
+                             if ci else f"{'n/a':>18s}")
+            lines.append(f"{protocol:12s}" + "  ".join(cells))
+        return lines
+
+    lines = benchmark.pedantic(build, rounds=1, iterations=1)
+    header = ("timeouts: " +
+              ", ".join(f"{t:.0f} ms" for t in ELECTION_TIMEOUTS_MS))
+    record_rows("fig8_partitions", header, lines)
+    from benchmarks.conftest import record_json
+
+    def ci_or_deadlock(value):
+        if value is None:
+            return None
+        if value == "deadlock":
+            return "deadlock"
+        return {"mean_ms": value.mean, "ci95": value.half_width}
+
+    record_json("fig8_partitions", {
+        "downtime": {
+            f"{fig}:{protocol}:{timeout:.0f}": ci_or_deadlock(
+                _downtimes.get((fig, protocol, timeout)))
+            for fig in ("8a", "8b")
+            for protocol in PROTOCOLS
+            for timeout in ELECTION_TIMEOUTS_MS
+        },
+        "chained_decided": {
+            f"{protocol}:{timeout:.0f}": {
+                "mean": _chained[(protocol, timeout)].mean,
+                "ci95": _chained[(protocol, timeout)].half_width,
+            }
+            for protocol in PROTOCOLS
+            for timeout in ELECTION_TIMEOUTS_MS[:2]
+            if (protocol, timeout) in _chained
+        },
+    })
+    # The paper's chained-scenario ordering: Multi-Paxos lowest.
+    for timeout in ELECTION_TIMEOUTS_MS[:2]:
+        mp = _chained.get(("multipaxos", timeout))
+        omni = _chained.get(("omni", timeout))
+        if mp and omni:
+            assert mp.mean < omni.mean, \
+                "Multi-Paxos must be lowest in the chained scenario"

@@ -1,0 +1,103 @@
+"""Table 1 — partial-connectivity scenario matrix.
+
+Regenerates the right half of the paper's Table 1: for each protocol and
+each scenario, does the cluster keep (or regain) stable progress, or is it
+unavailable for the whole partition?
+
+Expected output (the paper's ✓/✗ pattern):
+
+    protocol     quorum-loss  constrained  chained
+    omni         ok           ok           ok
+    raft         ok(churn)    UNAVAILABLE  ok
+    raft_pvcq    ok           UNAVAILABLE  ok
+    vr           UNAVAILABLE  UNAVAILABLE  ok
+    multipaxos   UNAVAILABLE  ok           ok(degraded)
+"""
+
+import pytest
+
+from repro.sim.harness import PROTOCOLS
+from repro.sim.scenarios import SCENARIOS, run_partition_scenario
+
+from benchmarks.conftest import record_rows, run_duration_ms
+
+T = 100.0
+
+_results = {}
+
+
+def _cell(protocol, scenario):
+    result = run_partition_scenario(
+        protocol, scenario,
+        election_timeout_ms=T,
+        partition_duration_ms=run_duration_ms(),
+        seed=7,
+    )
+    _results[(protocol, scenario)] = result
+    return result
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_table1_row(benchmark, protocol):
+    def row():
+        return {s: _cell(protocol, s) for s in SCENARIOS}
+
+    results = benchmark.pedantic(row, rounds=1, iterations=1)
+    benchmark.extra_info["recovered"] = {
+        s: r.recovered for s, r in results.items()
+    }
+    # Omni-Paxos is the only protocol that must survive everything.
+    if protocol == "omni":
+        assert all(r.recovered for r in results.values())
+
+
+def test_table1_print(benchmark):
+    """Assemble and verify the full matrix (depends on the rows above)."""
+
+    def fill_missing():
+        for protocol in PROTOCOLS:
+            for scenario in SCENARIOS:
+                if (protocol, scenario) not in _results:
+                    _cell(protocol, scenario)
+
+    benchmark.pedantic(fill_missing, rounds=1, iterations=1)
+
+    def verdict(result):
+        if not result.recovered:
+            return "UNAVAILABLE"
+        return f"ok({result.downtime_in_timeouts:.1f}T)"
+
+    rows = []
+    for protocol in PROTOCOLS:
+        cells = "  ".join(
+            f"{verdict(_results[(protocol, s)]):>16s}" for s in SCENARIOS
+        )
+        rows.append(f"{protocol:12s}{cells}")
+    header = "protocol    " + "  ".join(f"{s:>16s}" for s in SCENARIOS)
+    record_rows("table1_matrix", header, rows)
+    from benchmarks.conftest import record_json
+    record_json("table1_matrix", {
+        protocol: {
+            scenario: {
+                "recovered": _results[(protocol, scenario)].recovered,
+                "downtime_ms": _results[(protocol, scenario)].downtime_ms,
+                "decided": _results[(protocol, scenario)]
+                .decided_during_partition,
+            }
+            for scenario in SCENARIOS
+        }
+        for protocol in PROTOCOLS
+    })
+
+    expected = {
+        "omni": (True, True, True),
+        "raft": (True, False, True),
+        "raft_pvcq": (True, False, True),
+        "vr": (False, False, True),
+        "multipaxos": (False, True, True),
+    }
+    for protocol, pattern in expected.items():
+        actual = tuple(
+            _results[(protocol, s)].recovered for s in SCENARIOS
+        )
+        assert actual == pattern, f"{protocol}: {actual} != paper {pattern}"

@@ -1,0 +1,68 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper and does two
+things: (a) times the experiment via pytest-benchmark, and (b) prints —
+and appends to ``benchmarks/results/`` — the same rows/series the paper
+reports, so the reproduction can be compared against the publication even
+when pytest captures stdout.
+
+Scale: durations and the CP sweep are scaled down so the whole suite runs
+in minutes of wall-clock; set ``REPRO_BENCH_FULL=1`` for longer runs closer
+to the paper's 5-minute experiments. Shapes (who wins, by what factor,
+where crossovers fall) are preserved either way; absolute numbers are
+simulator-scale, not testbed-scale.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+#: The paper's CP = {500, 5k, 50k} maps to scaled pipeline levels.
+CP_LEVELS = {"low": 16, "mid": 128, "high": 512}
+
+#: Election timeouts swept in Figure 8 ({50, 500, 50k} ms in the paper;
+#: the largest is scaled down to keep virtual time tractable).
+ELECTION_TIMEOUTS_MS = (50.0, 500.0, 5_000.0) if FULL else (50.0, 500.0)
+
+
+def run_duration_ms() -> float:
+    return 30_000.0 if FULL else 5_000.0
+
+
+def record_rows(name: str, header: str, rows) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [header] + [str(row) for row in rows]
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}")
+    with open(RESULTS_DIR / f"{name}.txt", "w") as handle:
+        handle.write(text + "\n")
+
+
+def record_json(name: str, payload) -> None:
+    """Persist machine-readable results (for plotting / regression diffs),
+    mirroring the paper artifact's meta_results directories."""
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.json", "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured function exactly once (experiments are long and
+    deterministic; statistical repetition lives *inside* them as seeds)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Log compaction: trim, and snapshot-synchronized stragglers.
+
+Demonstrates the two compaction modes of the replication layer:
+
+1. **Safe trim** — the leader reclaims a prefix every server has decided.
+2. **Snapshot trim** — with a snapshotter configured (here: the KV state
+   machine fold), the leader compacts past a *partitioned* follower's
+   decided index; when the follower returns it receives the KV state
+   instead of the trimmed history.
+
+Run with::
+
+    python examples/log_compaction.py
+"""
+
+from repro.kv.store import KVCommand, KVStateMachine, encode_command, kv_snapshotter
+from repro.omni.ballot import Ballot
+from repro.omni.entry import SnapshotInstalled
+from repro.omni.sequence_paxos import SequencePaxos, SequencePaxosConfig
+from repro.omni.storage import InMemoryStorage
+
+
+class Net:
+    """Minimal message shuttle for three standalone Sequence Paxos nodes."""
+
+    def __init__(self, nodes):
+        self.nodes = nodes
+        self.down = set()
+
+    def cut(self, a, b):
+        self.down.add(frozenset((a, b)))
+
+    def heal(self):
+        self.down.clear()
+
+    def deliver(self):
+        for _ in range(20):
+            moved = False
+            for pid, node in self.nodes.items():
+                for dst, msg in node.take_outbox():
+                    if frozenset((pid, dst)) not in self.down:
+                        self.nodes[dst].on_message(pid, msg)
+                        moved = True
+            if not moved:
+                return
+
+
+def main() -> None:
+    nodes = {
+        pid: SequencePaxos(
+            SequencePaxosConfig(
+                pid=pid,
+                peers=tuple(p for p in (1, 2, 3) if p != pid),
+                snapshotter=kv_snapshotter,
+            ),
+            InMemoryStorage(),
+        )
+        for pid in (1, 2, 3)
+    }
+    net = Net(nodes)
+    ballot = Ballot(n=1, priority=0, pid=1)
+    for node in nodes.values():
+        node.handle_leader(ballot)
+    net.deliver()
+    leader = nodes[1]
+    print(f"leader: server 1 (round {leader.current_round})")
+
+    # Partition follower 3, then write a batch of KV commands.
+    net.cut(1, 3)
+    net.cut(2, 3)
+    for i in range(8):
+        leader.propose(encode_command(
+            KVCommand("put", f"key{i}", str(i)), client_id=1, seq=i))
+    net.deliver()
+    print(f"decided at leader: {leader.decided_idx} "
+          f"(follower 3 is partitioned at {nodes[3].decided_idx})")
+
+    # Snapshot trim: compacts past follower 3's decided index.
+    trimmed = leader.trim()
+    print(f"leader trimmed its log to index {trimmed}; "
+          f"storage now starts at {leader.compacted_idx}")
+
+    # Heal: follower 3 is synchronized with the snapshot, not the history.
+    net.heal()
+    nodes[3].reconnected(1)
+    net.deliver()
+    machine = KVStateMachine()
+    for idx, entry in nodes[3].take_decided():
+        if isinstance(entry, SnapshotInstalled):
+            machine.restore(entry.state)
+            print(f"follower 3 installed a snapshot covering [0, {idx})")
+        else:
+            machine.apply(entry, idx)
+    print(f"follower 3 state after snapshot sync: {machine.snapshot()}")
+    assert machine.lookup("key7") == "7"
+    print("straggler caught up from state, not history — compaction works")
+
+
+if __name__ == "__main__":
+    main()

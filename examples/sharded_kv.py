@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Sharded KV: many Omni-Paxos groups over shared machines.
+
+Production RSM deployments (TiKV, Dragonboat — both in the paper's related
+work) shard state over many consensus groups co-hosted on the same
+machines. This demo runs four groups on three machines, routes keys by
+hash, crashes a machine — taking down one replica of *every* group — and
+shows every shard failing over independently.
+
+Run with::
+
+    python examples/sharded_kv.py
+"""
+
+from repro.multigroup import MultiGroupCluster, ShardedKVStore
+
+
+def show_leaders(cluster) -> None:
+    leaders = cluster.leaders()
+    rendered = ", ".join(f"group {g} -> machine {m}"
+                         for g, m in sorted(leaders.items()))
+    print(f"  leaders: {rendered}")
+
+
+def main() -> None:
+    cluster = MultiGroupCluster(num_machines=3, num_groups=4,
+                                hb_period_ms=50.0)
+    cluster.wait_for_leaders()
+    kv = ShardedKVStore(cluster)
+    print("4 Omni-Paxos groups across 3 machines")
+    show_leaders(cluster)
+
+    keys = [f"user:{i}" for i in range(12)]
+    for i, key in enumerate(keys):
+        kv.put(key, f"profile-{i}")
+        cluster.run_for(20)
+    cluster.run_for(200)
+    by_group = {}
+    for key in keys:
+        by_group.setdefault(kv.group_for(key), []).append(key)
+    print(f"  12 keys spread over groups: "
+          f"{ {g: len(ks) for g, ks in sorted(by_group.items())} }")
+
+    print("--- machine 1 crashes (one replica of every group dies) ---")
+    cluster.crash_machine(1)
+    cluster.wait_for_leaders()
+    show_leaders(cluster)
+
+    # Every shard still serves reads and writes.
+    kv.put("user:99", "written-after-crash")
+    cluster.run_for(200)
+    survivor = 2
+    assert kv.get_local("user:0", survivor) == "profile-0"
+    assert kv.get_local("user:99", survivor) == "written-after-crash"
+    print("  all shards available through the machine failure")
+
+    print("--- machine 1 returns ---")
+    cluster.recover_machine(1)
+    cluster.run_for(2_000)
+    assert kv.get_local("user:99", 1) == "written-after-crash"
+    print("  recovered machine caught up in every group")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on older setuptools/pip toolchains that lack
+PEP 660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""repro — a reproduction of Omni-Paxos (EuroSys 2023).
+
+Omni-Paxos is a replicated-state-machine system that stays available under
+*partial* network partitions: it only needs a single quorum-connected server
+to make progress, where Raft, VR, Zab and Multi-Paxos need a fully-connected
+majority in at least some scenarios.
+
+Quickstart::
+
+    from repro import OmniPaxosServer, OmniPaxosConfig, ClusterConfig, Command
+    from repro.sim import EventQueue, SimNetwork, SimCluster
+
+    cluster_cfg = ClusterConfig(config_id=0, servers=(1, 2, 3))
+    queue = EventQueue()
+    net = SimNetwork(queue)
+    servers = {
+        pid: OmniPaxosServer(OmniPaxosConfig(pid=pid, cluster=cluster_cfg))
+        for pid in cluster_cfg.servers
+    }
+    sim = SimCluster(servers, net, queue)
+    sim.start()
+    sim.run_for(1_000)           # elect a leader
+    leader = sim.leaders()[0]
+    sim.propose(leader, Command(b"hello"))
+    sim.run_for(100)
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+harnesses that regenerate every table and figure of the paper.
+"""
+
+from repro.errors import (
+    ConfigError,
+    MigrationError,
+    NotLeaderError,
+    ReproError,
+    StoppedError,
+    StorageError,
+    TransportError,
+)
+from repro.omni import (
+    BOTTOM,
+    Ballot,
+    BallotLeaderElection,
+    BLEConfig,
+    ClusterConfig,
+    Command,
+    FileStorage,
+    InMemoryStorage,
+    OmniPaxosConfig,
+    OmniPaxosServer,
+    SequencePaxos,
+    SequencePaxosConfig,
+    StopSign,
+    Storage,
+    is_stopsign,
+)
+from repro.replica import Replica
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "StorageError",
+    "StoppedError",
+    "NotLeaderError",
+    "MigrationError",
+    "TransportError",
+    # core types
+    "Ballot",
+    "BOTTOM",
+    "Command",
+    "StopSign",
+    "is_stopsign",
+    "Storage",
+    "InMemoryStorage",
+    "FileStorage",
+    # protocols
+    "BallotLeaderElection",
+    "BLEConfig",
+    "SequencePaxos",
+    "SequencePaxosConfig",
+    "OmniPaxosServer",
+    "OmniPaxosConfig",
+    "ClusterConfig",
+    "Replica",
+]

@@ -1,0 +1,28 @@
+"""Baseline protocols the paper evaluates against.
+
+- :mod:`repro.baselines.raft` — Raft with optional PreVote and CheckQuorum
+  (the paper's "Raft" and "Raft PV+CQ" configurations, modelled on TiKV's
+  raft-rs behaviour).
+- :mod:`repro.baselines.multipaxos` — Multi-Paxos with per-slot decisions
+  and a failure-detector-driven ballot takeover (frankenpaxos-style).
+- :mod:`repro.baselines.vr` — Viewstamped Replication's leader election
+  layered on Omni-Paxos' Sequence Paxos log replication, exactly the hybrid
+  the paper evaluates ("an implementation of VR's leader election with
+  Omni-Paxos' log replication").
+
+All of them implement :class:`repro.replica.Replica`, so every experiment
+harness can swap protocols freely.
+"""
+
+from repro.baselines.raft import RaftReplica, RaftConfig
+from repro.baselines.multipaxos import MultiPaxosReplica, MultiPaxosConfig
+from repro.baselines.vr import VRReplica, VRConfig
+
+__all__ = [
+    "RaftReplica",
+    "RaftConfig",
+    "MultiPaxosReplica",
+    "MultiPaxosConfig",
+    "VRReplica",
+    "VRConfig",
+]

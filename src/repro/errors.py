@@ -1,0 +1,58 @@
+"""Exceptions shared across the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A cluster or protocol configuration is invalid.
+
+    Examples: an even-sized configuration where one is forbidden, a server id
+    that does not appear in the configuration, a non-positive timeout.
+    """
+
+
+class StorageError(ReproError):
+    """Persistent storage could not be read or written."""
+
+
+class StoppedError(ReproError):
+    """An operation was attempted on a stopped configuration.
+
+    Once a stop-sign has been decided in a Sequence Paxos instance no further
+    entries may be proposed in that configuration (see paper section 6).
+    """
+
+
+class NotLeaderError(ReproError):
+    """A leader-only operation was invoked on a non-leader replica."""
+
+    def __init__(self, message: str = "this server is not the leader", leader=None):
+        super().__init__(message)
+        #: Best-known current leader pid, or ``None`` if unknown.
+        self.leader = leader
+
+
+class MigrationError(ReproError):
+    """Log migration during reconfiguration failed or was mis-used."""
+
+
+class CompactionError(ReproError):
+    """A log trim was requested that is not yet safe.
+
+    The leader may only trim a prefix that *every* server in the
+    configuration has decided; until then the entries may still be needed
+    to synchronize stragglers.
+    """
+
+
+class TransportError(ReproError):
+    """The asyncio runtime transport failed to connect or send."""

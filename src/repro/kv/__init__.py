@@ -1,0 +1,26 @@
+"""A replicated key-value store built on the Omni-Paxos public API.
+
+This is the kind of stateful service the paper's introduction motivates
+(coordination services, metadata stores). :class:`KVStateMachine` applies
+the decided log deterministically; :class:`ReplicatedKVStore` glues a state
+machine to an :class:`~repro.omni.server.OmniPaxosServer`, including
+linearizable reads through the log and client-session deduplication.
+"""
+
+from repro.kv.store import (
+    KVCommand,
+    KVResult,
+    KVStateMachine,
+    ReplicatedKVStore,
+    encode_command,
+    decode_command,
+)
+
+__all__ = [
+    "KVCommand",
+    "KVResult",
+    "KVStateMachine",
+    "ReplicatedKVStore",
+    "encode_command",
+    "decode_command",
+]

@@ -1,0 +1,26 @@
+"""A replicated lock service on the Omni-Paxos public API.
+
+The paper's introduction names lock services (Chubby) among the systems
+built on replicated state machines. This package provides one: leased,
+named locks whose state transitions are decided through the replicated log,
+so every replica agrees on who holds what — even across partitions, with
+Omni-Paxos' resilience underneath.
+"""
+
+from repro.locks.service import (
+    LockCommand,
+    LockResult,
+    LockStateMachine,
+    ReplicatedLockService,
+    encode_lock_command,
+    decode_lock_command,
+)
+
+__all__ = [
+    "LockCommand",
+    "LockResult",
+    "LockStateMachine",
+    "ReplicatedLockService",
+    "encode_lock_command",
+    "decode_lock_command",
+]

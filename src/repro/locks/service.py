@@ -1,0 +1,204 @@
+"""Leased, replicated locks.
+
+Determinism and time: a replicated state machine cannot read wall clocks
+(replicas would diverge), so commands carry the *proposer's* timestamp and
+logical time only advances through decided commands — the standard RSM
+lease construction. A lease is expired when a later command's timestamp
+passes its deadline; the state machine never expires anything
+spontaneously.
+
+Operations:
+
+- ``acquire(lock, holder, lease_ms)`` — succeeds if the lock is free, held
+  by the same holder (renewal), or its lease expired.
+- ``release(lock, holder)`` — succeeds only for the current holder.
+
+Safety property (tested with hypothesis): at every point in the applied
+history, each lock has at most one unexpired holder — mutual exclusion.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.omni.entry import Command, is_stopsign
+
+OP_ACQUIRE = "acquire"
+OP_RELEASE = "release"
+_OPS = (OP_ACQUIRE, OP_RELEASE)
+
+
+class LockError(ReproError):
+    """Invalid lock command or payload."""
+
+
+@dataclass(frozen=True)
+class LockCommand:
+    """One lock operation, stamped with the proposer's clock."""
+
+    op: str
+    lock: str
+    holder: str
+    now_ms: float
+    lease_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise LockError(f"unknown op {self.op!r}")
+        if self.op == OP_ACQUIRE and self.lease_ms <= 0:
+            raise LockError("acquire needs a positive lease")
+        if not self.lock or not self.holder:
+            raise LockError("lock and holder must be non-empty")
+
+
+@dataclass(frozen=True)
+class LockResult:
+    """Outcome of one applied lock command."""
+
+    op: str
+    lock: str
+    holder: str
+    ok: bool
+    #: Current holder after applying (None if free).
+    current_holder: Optional[str]
+    log_idx: int
+
+
+def encode_lock_command(cmd: LockCommand, client_id: int = 0,
+                        seq: int = 0) -> Command:
+    payload = {
+        "op": cmd.op,
+        "lock": cmd.lock,
+        "holder": cmd.holder,
+        "now": cmd.now_ms,
+        "lease": cmd.lease_ms,
+    }
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return Command(data=data, client_id=client_id, seq=seq)
+
+
+def decode_lock_command(entry: Command) -> LockCommand:
+    try:
+        payload = json.loads(entry.data.decode("utf-8"))
+        return LockCommand(
+            op=payload["op"],
+            lock=payload["lock"],
+            holder=payload["holder"],
+            now_ms=float(payload["now"]),
+            lease_ms=float(payload.get("lease", 0.0)),
+        )
+    except (ValueError, KeyError, UnicodeDecodeError) as exc:
+        raise LockError(f"malformed lock payload: {exc}") from exc
+
+
+class LockStateMachine:
+    """Deterministic lock table: lock -> (holder, lease deadline)."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[str, Tuple[str, float]] = {}
+        #: The highest command timestamp seen: logical "now".
+        self._clock = 0.0
+
+    @property
+    def logical_now(self) -> float:
+        return self._clock
+
+    def holder_of(self, lock: str) -> Optional[str]:
+        """The current unexpired holder, judged at the logical clock."""
+        held = self._locks.get(lock)
+        if held is None:
+            return None
+        holder, deadline = held
+        if deadline <= self._clock:
+            return None
+        return holder
+
+    def table(self) -> Dict[str, Tuple[str, float]]:
+        """A copy of the raw lock table (holder, deadline)."""
+        return dict(self._locks)
+
+    def apply(self, entry: Command, log_idx: int) -> LockResult:
+        cmd = decode_lock_command(entry)
+        # Logical time is monotone: a command stamped in the past still
+        # advances nothing, but never rewinds expiries.
+        self._clock = max(self._clock, cmd.now_ms)
+        current = self.holder_of(cmd.lock)
+        if cmd.op == OP_ACQUIRE:
+            if current is None or current == cmd.holder:
+                self._locks[cmd.lock] = (
+                    cmd.holder, self._clock + cmd.lease_ms
+                )
+                return LockResult(cmd.op, cmd.lock, cmd.holder, True,
+                                  cmd.holder, log_idx)
+            return LockResult(cmd.op, cmd.lock, cmd.holder, False,
+                              current, log_idx)
+        # release
+        if current == cmd.holder:
+            del self._locks[cmd.lock]
+            return LockResult(cmd.op, cmd.lock, cmd.holder, True,
+                              None, log_idx)
+        return LockResult(cmd.op, cmd.lock, cmd.holder, False,
+                          current, log_idx)
+
+
+class ReplicatedLockService:
+    """A lock service served by one Omni-Paxos server.
+
+    Like :class:`repro.kv.ReplicatedKVStore`: feed decided entries in via
+    :meth:`ingest` (from a SimCluster observer) or :meth:`pump` (when
+    nothing else drains the server's decided stream).
+    """
+
+    def __init__(self, server, client_id: int = 1):
+        self._server = server
+        self._client_id = client_id
+        self._next_seq = 0
+        self._machine = LockStateMachine()
+        self._results: Dict[int, LockResult] = {}
+
+    @property
+    def machine(self) -> LockStateMachine:
+        return self._machine
+
+    def acquire(self, lock: str, holder: str, lease_ms: float,
+                now_ms: float) -> int:
+        """Propose an acquire; returns the session sequence number."""
+        return self._submit(LockCommand(
+            OP_ACQUIRE, lock, holder, now_ms, lease_ms), now_ms)
+
+    def release(self, lock: str, holder: str, now_ms: float) -> int:
+        """Propose a release; returns the session sequence number."""
+        return self._submit(LockCommand(
+            OP_RELEASE, lock, holder, now_ms), now_ms)
+
+    def _submit(self, cmd: LockCommand, now_ms: float) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        self._server.propose(
+            encode_lock_command(cmd, self._client_id, seq), now_ms)
+        return seq
+
+    def result(self, seq: int) -> Optional[LockResult]:
+        return self._results.get(seq)
+
+    def holder_of(self, lock: str) -> Optional[str]:
+        return self._machine.holder_of(lock)
+
+    def ingest(self, idx: int, entry) -> Optional[LockResult]:
+        if is_stopsign(entry) or not isinstance(entry, Command):
+            return None
+        result = self._machine.apply(entry, idx)
+        if entry.client_id == self._client_id:
+            self._results[entry.seq] = result
+        return result
+
+    def pump(self) -> List[LockResult]:
+        applied = []
+        for idx, entry in self._server.take_decided():
+            result = self.ingest(idx, entry)
+            if result is not None:
+                applied.append(result)
+        return applied

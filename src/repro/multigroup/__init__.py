@@ -1,0 +1,17 @@
+"""Multi-group replication: many Omni-Paxos groups over shared machines.
+
+Production deployments shard state across many independent consensus
+groups hosted on the same machines (TiKV's multi-raft, Dragonboat — both
+cited by the paper). This package provides that composition for Omni-Paxos:
+a :class:`MultiGroupCluster` runs G groups across N machines in one
+simulation, with machine-level link failures affecting every co-hosted
+group, and a :class:`ShardedKVStore` that routes keys across the groups.
+"""
+
+from repro.multigroup.sharding import (
+    MultiGroupCluster,
+    ShardedKVStore,
+    shard_of,
+)
+
+__all__ = ["MultiGroupCluster", "ShardedKVStore", "shard_of"]

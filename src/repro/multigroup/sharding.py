@@ -1,0 +1,209 @@
+"""Sharding across multiple Omni-Paxos groups on shared machines.
+
+Machines are numbered ``1..N``; groups ``0..G-1``. The replica of group
+``g`` on machine ``m`` gets the synthetic pid ``g * GROUP_STRIDE + m``, so
+all groups share one simulated network while staying protocol-isolated
+(they are separate Omni-Paxos clusters; the envelope config ids never
+cross groups because the pid spaces are disjoint).
+
+Machine-level events — partitions, crashes — fan out to every co-hosted
+replica, exactly as a NIC failure or kernel panic would in production.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError, NotLeaderError
+from repro.kv.store import KVCommand, KVResult, ReplicatedKVStore
+from repro.omni.server import ClusterConfig, OmniPaxosConfig, OmniPaxosServer
+from repro.sim.cluster import SimCluster
+from repro.sim.events import EventQueue
+from repro.sim.metrics import IOTracker
+from repro.sim.network import NetworkParams, SimNetwork
+
+#: Pid-space stride between groups; bounds machines per group.
+GROUP_STRIDE = 1_000
+
+
+def shard_of(key: str, num_groups: int) -> int:
+    """Stable key -> group assignment (CRC, independent of PYTHONHASHSEED)."""
+    return zlib.crc32(key.encode("utf-8")) % num_groups
+
+
+class MultiGroupCluster:
+    """G Omni-Paxos groups replicated across the same N machines."""
+
+    def __init__(
+        self,
+        num_machines: int = 3,
+        num_groups: int = 4,
+        hb_period_ms: float = 50.0,
+        one_way_ms: float = 0.1,
+        tick_ms: float = 5.0,
+    ):
+        if num_machines < 1 or num_groups < 1:
+            raise ConfigError("need at least one machine and one group")
+        if num_machines >= GROUP_STRIDE:
+            raise ConfigError(f"at most {GROUP_STRIDE - 1} machines")
+        self.num_machines = num_machines
+        self.num_groups = num_groups
+        self._queue = EventQueue()
+        self.io = IOTracker()
+        self._network = SimNetwork(
+            self._queue, NetworkParams(one_way_ms=one_way_ms),
+            io_tracker=self.io,
+        )
+        self._servers: Dict[int, OmniPaxosServer] = {}
+        self._by_group: Dict[int, Dict[int, OmniPaxosServer]] = {}
+        for group in range(num_groups):
+            members = tuple(self.pid_of(group, m)
+                            for m in range(1, num_machines + 1))
+            cluster_cfg = ClusterConfig(config_id=0, servers=members)
+            self._by_group[group] = {}
+            for machine in range(1, num_machines + 1):
+                pid = self.pid_of(group, machine)
+                server = OmniPaxosServer(OmniPaxosConfig(
+                    pid=pid, cluster=cluster_cfg, hb_period_ms=hb_period_ms,
+                ))
+                self._servers[pid] = server
+                self._by_group[group][machine] = server
+        self.sim = SimCluster(self._servers, self._network, self._queue,
+                              tick_ms=tick_ms)
+        self.sim.start()
+
+    # -- addressing ----------------------------------------------------------
+
+    @staticmethod
+    def pid_of(group: int, machine: int) -> int:
+        return group * GROUP_STRIDE + machine
+
+    @staticmethod
+    def machine_of(pid: int) -> int:
+        return pid % GROUP_STRIDE
+
+    def server(self, group: int, machine: int) -> OmniPaxosServer:
+        return self._by_group[group][machine]
+
+    def group_servers(self, group: int) -> Dict[int, OmniPaxosServer]:
+        return dict(self._by_group[group])
+
+    # -- driving -----------------------------------------------------------------
+
+    def run_for(self, duration_ms: float) -> None:
+        self.sim.run_for(duration_ms)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def leaders(self) -> Dict[int, Optional[int]]:
+        """Per group: the machine hosting its leader (or None)."""
+        out: Dict[int, Optional[int]] = {}
+        for group, members in self._by_group.items():
+            out[group] = None
+            for machine, server in members.items():
+                if server.is_leader and not self.sim.is_crashed(server.pid):
+                    out[group] = machine
+                    break
+        return out
+
+    def wait_for_leaders(self, max_ms: float = 5_000.0) -> Dict[int, int]:
+        """Run until every group has a leader; returns group -> machine."""
+        elapsed = 0.0
+        while elapsed < max_ms:
+            self.run_for(100.0)
+            elapsed += 100.0
+            leaders = self.leaders()
+            if all(m is not None for m in leaders.values()):
+                return leaders  # type: ignore[return-value]
+        raise AssertionError("not every group elected a leader in time")
+
+    # -- machine-level failures ----------------------------------------------
+
+    def set_machine_link(self, m1: int, m2: int, up: bool) -> None:
+        """Cut or restore the physical link between two machines: affects
+        the corresponding replica pair in *every* group."""
+        for group in range(self.num_groups):
+            self.sim.set_link(self.pid_of(group, m1),
+                              self.pid_of(group, m2), up)
+
+    def crash_machine(self, machine: int) -> None:
+        """A machine dies: every co-hosted replica goes down with it."""
+        for group in range(self.num_groups):
+            self.sim.crash(self.pid_of(group, machine))
+
+    def recover_machine(self, machine: int) -> None:
+        for group in range(self.num_groups):
+            self.sim.recover(self.pid_of(group, machine))
+
+    def machine_io_bytes(self, machine: int) -> int:
+        """Outgoing bytes across all groups hosted on ``machine``."""
+        return sum(
+            self.io.total_bytes(self.pid_of(group, machine))
+            for group in range(self.num_groups)
+        )
+
+
+class ShardedKVStore:
+    """A key-value store sharded across the groups of a MultiGroupCluster.
+
+    Writes are routed to the leader of ``shard_of(key)``'s group; each
+    machine applies its groups' decided entries into per-group state
+    machines. Reads go to any machine that hosts the key's group.
+    """
+
+    def __init__(self, cluster: MultiGroupCluster):
+        self._cluster = cluster
+        #: (group, machine) -> ReplicatedKVStore
+        self._stores: Dict[Tuple[int, int], ReplicatedKVStore] = {}
+        for group in range(cluster.num_groups):
+            for machine, server in cluster.group_servers(group).items():
+                self._stores[(group, machine)] = ReplicatedKVStore(
+                    server, client_id=machine)
+        cluster.sim.on_decided(self._observe)
+        self._pid_index = {
+            server.pid: (group, machine)
+            for (group, machine), server in (
+                ((key, store._server) for key, store in self._stores.items())
+            )
+        }
+
+    def _observe(self, pid, idx, entry, now) -> None:
+        key = self._pid_index.get(pid)
+        if key is not None:
+            self._stores[key].ingest(idx, entry)
+
+    # -- client API --------------------------------------------------------------
+
+    def group_for(self, key: str) -> int:
+        return shard_of(key, self._cluster.num_groups)
+
+    def put(self, key: str, value: str) -> Tuple[int, int]:
+        """Route a put to the key's group leader; returns (group, seq).
+
+        Raises :class:`NotLeaderError` when the group currently has no
+        leader (callers retry, as with any RSM client).
+        """
+        group = self.group_for(key)
+        leader_machine = self._cluster.leaders().get(group)
+        if leader_machine is None:
+            raise NotLeaderError(f"group {group} has no leader")
+        store = self._stores[(group, leader_machine)]
+        seq = store.submit(KVCommand("put", key, value), self._cluster.now)
+        return group, seq
+
+    def get_local(self, key: str, machine: int) -> Optional[str]:
+        """Read the key from ``machine``'s replica of its group."""
+        return self._stores[(self.group_for(key), machine)].lookup(key)
+
+    def result(self, group: int, machine: int, seq: int) -> Optional[KVResult]:
+        return self._stores[(group, machine)].result(seq)
+
+    def shard_sizes(self) -> Dict[int, int]:
+        """Applied entries per group at machine 1 (balance diagnostics)."""
+        return {
+            group: self._stores[(group, 1)].machine.applied_count
+            for group in range(self._cluster.num_groups)
+        }

@@ -1,0 +1,47 @@
+"""Omni-Paxos: the paper's primary contribution.
+
+This package implements the three decoupled components described in the
+paper:
+
+- :mod:`repro.omni.ble` — Ballot Leader Election (paper section 5), which
+  elects a *quorum-connected* server using heartbeat rounds that carry
+  ``(ballot, quorum_connected)`` pairs.
+- :mod:`repro.omni.sequence_paxos` — Sequence Paxos log replication (paper
+  section 4) with a Prepare-phase log synchronization so that even a trailing
+  leader can take over safely.
+- :mod:`repro.omni.server` / :mod:`repro.omni.reconfig` — the service layer
+  and reconfiguration with stop-signs and parallel log migration (paper
+  section 6).
+
+All protocol classes are *sans-io*: they consume messages and clock ticks and
+emit outgoing messages into an outbox. The simulator
+(:mod:`repro.sim`) and the asyncio runtime (:mod:`repro.runtime`) both drive
+the very same objects.
+"""
+
+from repro.omni.ballot import Ballot, BOTTOM
+from repro.omni.entry import Command, StopSign, is_stopsign
+from repro.omni.storage import InMemoryStorage, FileStorage, Storage
+from repro.omni.ble import BallotLeaderElection, BLEConfig
+from repro.omni.sequence_paxos import SequencePaxos, SequencePaxosConfig, Role, Phase
+from repro.omni.server import OmniPaxosServer, OmniPaxosConfig, ClusterConfig
+
+__all__ = [
+    "Ballot",
+    "BOTTOM",
+    "Command",
+    "StopSign",
+    "is_stopsign",
+    "Storage",
+    "InMemoryStorage",
+    "FileStorage",
+    "BallotLeaderElection",
+    "BLEConfig",
+    "SequencePaxos",
+    "SequencePaxosConfig",
+    "Role",
+    "Phase",
+    "OmniPaxosServer",
+    "OmniPaxosConfig",
+    "ClusterConfig",
+]

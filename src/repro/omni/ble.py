@@ -1,0 +1,240 @@
+"""Ballot Leader Election (BLE) — paper section 5.2, Figure 4.
+
+BLE elects a *quorum-connected* (QC) server: one that is correct and has a
+direct link to a majority of servers (including itself). Servers exchange
+heartbeats in rounds; every heartbeat reply carries the sender's current
+ballot and its quorum-connected flag. A server that received replies from a
+majority in a round may run ``check_leader``:
+
+- If the highest quorum-connected ballot seen is *lower* than the current
+  leader's ballot, the leader is either unreachable or no longer QC, so this
+  server bumps its own ballot past the leader's and attempts to take over.
+- If it is *higher*, that ballot's owner becomes the new leader and a leader
+  event is handed to Sequence Paxos.
+
+Servers that are not quorum-connected never run ``check_leader`` and thus
+never churn ballots — the key to surviving the quorum-loss and chained
+scenarios of paper section 2.
+
+The implementation is sans-io: callers feed in messages and clock ticks and
+drain the outbox and leader events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.omni.ballot import Ballot, BOTTOM
+from repro.omni.messages import HeartbeatReply, HeartbeatRequest
+
+
+@dataclass(frozen=True)
+class BLEConfig:
+    """Static configuration of one BLE instance.
+
+    ``hb_period_ms`` is the heartbeat-round length (the election timeout of
+    the evaluation). ``priority`` is the optional custom ballot field for
+    leader preference (paper section 5.2). ``use_qc_flag=False`` disables the
+    quorum-connected flag in heartbeats — only for the ablation benchmark
+    that demonstrates why the flag is necessary.
+    """
+
+    pid: int
+    peers: Tuple[int, ...]
+    hb_period_ms: float = 100.0
+    priority: int = 0
+    use_qc_flag: bool = True
+    #: Paper section 8 optimization: stamp the candidate's *connectivity*
+    #: (peers heard from last round) into the ballot's priority field when
+    #: attempting a takeover, so better-connected servers win ties. Only
+    #: applied at bump time — a stable leader is never displaced just
+    #: because some server got better connected (the paper's stability
+    #: argument).
+    connectivity_priority: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pid <= 0:
+            raise ConfigError("server pids must be positive (0 is the bottom ballot)")
+        if self.pid in self.peers:
+            raise ConfigError("peers must not contain the server's own pid")
+        if self.hb_period_ms <= 0:
+            raise ConfigError("hb_period_ms must be positive")
+
+    @property
+    def cluster_size(self) -> int:
+        return len(self.peers) + 1
+
+    @property
+    def majority(self) -> int:
+        return self.cluster_size // 2 + 1
+
+
+@dataclass
+class BLEStats:
+    """Counters exposed for the evaluation harness."""
+
+    rounds: int = 0
+    leader_changes: int = 0
+    ballots_bumped: int = 0
+
+
+class BallotLeaderElection:
+    """One BLE instance (one per configuration per server)."""
+
+    def __init__(
+        self,
+        config: BLEConfig,
+        initial_leader: Optional[Ballot] = None,
+        initial_ballot: Optional[Ballot] = None,
+    ):
+        """``initial_leader`` seeds a pre-elected leader (used by benchmark
+        warm starts); ``initial_ballot`` restores this server's own ballot
+        after a crash so it never reissues a round it may already have led
+        (see the recovery discussion in the module docstring of
+        :mod:`repro.omni.server`)."""
+        self._config = config
+        if initial_ballot is not None and initial_ballot.pid != config.pid:
+            raise ConfigError("initial_ballot must carry this server's pid")
+        self._current_ballot = initial_ballot or Ballot(
+            n=0, priority=config.priority, pid=config.pid
+        )
+        #: Replies gathered in the current round: ballot -> qc flag.
+        self._ballots: List[Tuple[Ballot, bool]] = []
+        #: Whether this server was quorum-connected in the last round.
+        self._quorum_connected = True
+        self._leader: Optional[Ballot] = initial_leader
+        self._hb_round = 0
+        self._last_connectivity = 0
+        #: When we last observed replies from a majority (read-lease basis).
+        self._last_quorum_at: Optional[float] = None
+        self._now = 0.0
+        self._next_timeout: Optional[float] = None
+        self._outbox: List[Tuple[int, Any]] = []
+        self._leader_events: List[Ballot] = []
+        self.stats = BLEStats()
+        if initial_leader is not None and initial_leader.pid == config.pid:
+            # Bootstrapping with ourselves as the seeded leader: adopt the
+            # seeded ballot so our heartbeats advertise it.
+            self._current_ballot = initial_leader
+
+    # -- public accessors ---------------------------------------------------
+
+    @property
+    def config(self) -> BLEConfig:
+        return self._config
+
+    @property
+    def pid(self) -> int:
+        return self._config.pid
+
+    @property
+    def current_ballot(self) -> Ballot:
+        return self._current_ballot
+
+    @property
+    def leader(self) -> Optional[Ballot]:
+        """The ballot this server currently considers leader, if any."""
+        return self._leader
+
+    @property
+    def quorum_connected(self) -> bool:
+        """Whether this server was QC in the most recent completed round."""
+        return self._quorum_connected
+
+    # -- driving ------------------------------------------------------------
+
+    def start(self, now_ms: float) -> None:
+        """Begin heartbeat rounds; must be called once before ticking."""
+        self._now = now_ms
+        self._start_round(now_ms)
+
+    def tick(self, now_ms: float) -> None:
+        """Advance time; closes the round when the heartbeat period elapsed."""
+        self._now = now_ms
+        if self._next_timeout is None or now_ms < self._next_timeout:
+            return
+        self._hb_timeout()
+        self._start_round(now_ms)
+
+    def quorum_heard_within(self, now_ms: float, window_ms: float) -> bool:
+        """Whether a majority of heartbeat replies arrived within
+        ``window_ms`` — the basis of leader read leases: no new leader can
+        have been elected while the current one keeps hearing a majority
+        every round (takeovers require a round in which the leader's ballot
+        was absent at some majority member)."""
+        if self._last_quorum_at is None:
+            return False
+        return now_ms - self._last_quorum_at <= window_ms
+
+    def on_message(self, src: int, msg: Any) -> None:
+        """Handle a heartbeat request or reply from peer ``src``."""
+        if isinstance(msg, HeartbeatRequest):
+            flag = self._quorum_connected if self._config.use_qc_flag else True
+            self._send(src, HeartbeatReply(msg.round, self._current_ballot, flag))
+        elif isinstance(msg, HeartbeatReply):
+            if msg.round == self._hb_round:
+                self._ballots.append((msg.ballot, msg.quorum_connected))
+            # Late replies from older rounds are simply ignored (paper: "A
+            # late heartbeat is simply ignored and does not affect
+            # correctness").
+
+    def take_outbox(self) -> List[Tuple[int, Any]]:
+        """Drain pending outgoing ``(dst, message)`` pairs."""
+        out, self._outbox = self._outbox, []
+        return out
+
+    def take_leader_events(self) -> List[Ballot]:
+        """Drain newly elected leader ballots (to feed Sequence Paxos)."""
+        events, self._leader_events = self._leader_events, []
+        return events
+
+    # -- internals ------------------------------------------------------------
+
+    def _send(self, dst: int, msg: Any) -> None:
+        self._outbox.append((dst, msg))
+
+    def _start_round(self, now_ms: float) -> None:
+        self._hb_round += 1
+        self._next_timeout = now_ms + self._config.hb_period_ms
+        for peer in self._config.peers:
+            self._send(peer, HeartbeatRequest(self._hb_round))
+
+    def _hb_timeout(self) -> None:
+        """Close the current round: evaluate replies and maybe elect."""
+        self.stats.rounds += 1
+        self._last_connectivity = len(self._ballots) + 1
+        if len(self._ballots) + 1 >= self._config.majority:
+            self._last_quorum_at = self._now
+            # We heard from a majority (counting ourselves): we are QC and
+            # allowed to evaluate leadership. Our own ballot participates
+            # with the flag from the *previous* round.
+            self._ballots.append((self._current_ballot, self._quorum_connected))
+            self._check_leader()
+        else:
+            self._ballots.clear()
+            self._quorum_connected = False
+
+    def _check_leader(self) -> None:
+        candidates = [b for (b, qc) in self._ballots if qc]
+        self._ballots = []
+        self._quorum_connected = True
+        top = max(candidates) if candidates else BOTTOM
+        leader_ballot = self._leader if self._leader is not None else BOTTOM
+        if top < leader_ballot:
+            # The leader's ballot was absent (disconnected) or carried
+            # qc=false: the leader cannot make progress. Bump our ballot
+            # beyond the leader's and attempt to take over next round.
+            if self._config.connectivity_priority:
+                self._current_ballot = self._current_ballot.with_priority(
+                    self._last_connectivity
+                )
+            self._current_ballot = self._current_ballot.bump(leader_ballot)
+            self._leader = None
+            self.stats.ballots_bumped += 1
+        elif top != leader_ballot:
+            # A higher quorum-connected ballot exists: elect it.
+            self._leader = top
+            self.stats.leader_changes += 1
+            self._leader_events.append(top)

@@ -1,0 +1,118 @@
+"""Fault-injecting storage wrapper for failure testing.
+
+:class:`FaultyStorage` wraps any :class:`~repro.omni.storage.Storage` and
+fails writes on demand (disk-full, flaky media). Sequence Paxos does not
+swallow storage failures — a replica that cannot persist must crash rather
+than acknowledge unpersisted state, which is what the fail-recovery model
+(paper section 3) assumes. The failure-injection tests assert exactly that:
+errors propagate, and after the fault clears the replica recovers through
+the normal fail-recovery path with no safety loss.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.omni.ballot import Ballot
+from repro.omni.storage import Storage
+
+
+class FaultyStorage(Storage):
+    """A storage decorator whose writes can be made to fail.
+
+    ``fail_after`` arms a countdown: that many more writes succeed, then
+    every write raises :class:`StorageError` until :meth:`heal` is called.
+    Reads always succeed (the medium is readable; appends are not).
+    """
+
+    def __init__(self, inner: Storage):
+        self._inner = inner
+        self._writes_until_failure: Optional[int] = None
+        self._failing = False
+        self.writes_attempted = 0
+        self.writes_failed = 0
+
+    # -- fault control ------------------------------------------------------
+
+    def fail_after(self, writes: int) -> None:
+        """Let ``writes`` more writes succeed, then fail all writes."""
+        self._writes_until_failure = writes
+        self._failing = writes <= 0
+
+    def heal(self) -> None:
+        """Stop failing writes."""
+        self._writes_until_failure = None
+        self._failing = False
+
+    @property
+    def failing(self) -> bool:
+        return self._failing
+
+    def _write_gate(self) -> None:
+        self.writes_attempted += 1
+        if self._writes_until_failure is not None and not self._failing:
+            self._writes_until_failure -= 1
+            if self._writes_until_failure < 0:
+                self._failing = True
+        if self._failing:
+            self.writes_failed += 1
+            raise StorageError("injected storage fault (disk full)")
+
+    # -- Storage API (writes gated, reads passed through) --------------------
+
+    def append_entry(self, entry: Any) -> int:
+        self._write_gate()
+        return self._inner.append_entry(entry)
+
+    def append_entries(self, entries: Sequence[Any]) -> int:
+        self._write_gate()
+        return self._inner.append_entries(entries)
+
+    def truncate_suffix(self, from_idx: int) -> None:
+        self._write_gate()
+        self._inner.truncate_suffix(from_idx)
+
+    def get_entries(self, from_idx: int, to_idx: int) -> Tuple[Any, ...]:
+        return self._inner.get_entries(from_idx, to_idx)
+
+    def log_len(self) -> int:
+        return self._inner.log_len()
+
+    def compact_prefix(self, idx: int) -> None:
+        self._write_gate()
+        self._inner.compact_prefix(idx)
+
+    def compacted_idx(self) -> int:
+        return self._inner.compacted_idx()
+
+    def set_snapshot(self, state: Any, covers_idx: int) -> None:
+        self._write_gate()
+        self._inner.set_snapshot(state, covers_idx)
+
+    def get_snapshot(self) -> Optional[Tuple[Any, int]]:
+        return self._inner.get_snapshot()
+
+    def _reset_log_to(self, logical_len: int) -> None:
+        self._inner._reset_log_to(logical_len)
+
+    def set_promise(self, ballot: Ballot) -> None:
+        self._write_gate()
+        self._inner.set_promise(ballot)
+
+    def get_promise(self) -> Ballot:
+        return self._inner.get_promise()
+
+    def set_accepted_round(self, ballot: Ballot) -> None:
+        self._write_gate()
+        self._inner.set_accepted_round(ballot)
+
+    def get_accepted_round(self) -> Ballot:
+        return self._inner.get_accepted_round()
+
+    def set_decided_idx(self, idx: int) -> None:
+        self._write_gate()
+        self._inner.set_decided_idx(idx)
+
+    def get_decided_idx(self) -> int:
+        return self._inner.get_decided_idx()

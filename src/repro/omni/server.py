@@ -1,0 +1,642 @@
+"""OmniPaxosServer: the composed RSM server (paper Figure 2).
+
+One server hosts, per configuration, a Ballot Leader Election instance and a
+Sequence Paxos instance, plus the *service layer* that owns the replicated
+log across configurations and performs reconfiguration:
+
+- Sequence Paxos decides entries; the service layer appends them to the
+  global replicated log.
+- When a stop-sign is decided, the configuration is stopped. A server that
+  continues into the next configuration starts its new BLE/Sequence Paxos
+  instances immediately (it already holds the whole log) and announces the
+  new configuration to every member. A *new* server first migrates the log
+  — in parallel from any donors — before starting (paper section 6).
+- Messages are wrapped in :class:`~repro.omni.messages.Envelope` so BLE and
+  Sequence Paxos instances only ever talk to peers of the same
+  configuration.
+
+Crash recovery: Sequence Paxos state is persistent via
+:class:`~repro.omni.storage.Storage`. On :meth:`recover` the volatile
+protocol objects are rebuilt and BLE's own ballot is restored from the
+persisted promise — a server must never reissue a ballot number it may
+already have led with (property LE3), and the promise is a persisted upper
+bound on every ballot this server ever led.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError, NotLeaderError
+from repro.omni.ballot import Ballot
+from repro.omni.ble import BallotLeaderElection, BLEConfig
+from repro.omni.entry import StopSign, is_stopsign
+from repro.omni.messages import (
+    COMPONENT_BLE,
+    COMPONENT_SERVICE,
+    COMPONENT_SP,
+    Envelope,
+    JoinComplete,
+    LogPullRequest,
+    LogSegment,
+    NewConfiguration,
+)
+from repro.omni.reconfig import PARALLEL, MigrationPlan, serve_pull_request
+from repro.omni.sequence_paxos import SequencePaxos, SequencePaxosConfig
+from repro.omni.storage import InMemoryStorage, Storage
+from repro.replica import Replica
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One configuration: an id and a fixed member set."""
+
+    config_id: int
+    servers: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            raise ConfigError("a configuration needs at least one server")
+        if len(set(self.servers)) != len(self.servers):
+            raise ConfigError("duplicate server pids in configuration")
+        if any(pid <= 0 for pid in self.servers):
+            raise ConfigError("server pids must be positive")
+
+    @property
+    def majority(self) -> int:
+        return len(self.servers) // 2 + 1
+
+    def peers_of(self, pid: int) -> Tuple[int, ...]:
+        return tuple(p for p in self.servers if p != pid)
+
+
+def _default_storage_factory(config_id: int) -> Storage:
+    return InMemoryStorage()
+
+
+@dataclass
+class OmniPaxosConfig:
+    """Static configuration of one Omni-Paxos server."""
+
+    pid: int
+    cluster: ClusterConfig
+    hb_period_ms: float = 100.0
+    #: Custom ballot tie-breaking priority (paper section 5.2).
+    priority: int = 0
+    #: Disable only for the ablation that shows why the QC flag matters.
+    use_qc_flag: bool = True
+    #: Prefer better-connected candidates at takeover time (paper section 8).
+    connectivity_priority: bool = False
+    #: ``"parallel"`` (paper, Figure 6b) or ``"leader"`` (Figure 6a ablation).
+    migration_strategy: str = PARALLEL
+    migration_chunk_entries: int = 10_000
+    migration_retry_ms: float = 1_000.0
+    #: How often continuing servers re-announce a new configuration to
+    #: members that have not confirmed the join yet.
+    announce_period_ms: float = 500.0
+    #: Seed a pre-elected leader so benchmarks start in steady state.
+    initial_leader: Optional[int] = None
+    #: When set, proposals accumulate and flush as one replication batch
+    #: every this-many milliseconds (latency traded for per-message
+    #: overhead — the "batch" setting of real replication systems).
+    flush_interval_ms: Optional[float] = None
+    storage_factory: Callable[[int], Storage] = _default_storage_factory
+
+    @property
+    def is_joiner(self) -> bool:
+        """True when this server is not in the initial configuration: it
+        stays idle until a continuing server announces a configuration that
+        includes it (paper section 6, adding new servers)."""
+        return self.pid not in self.cluster.servers
+
+
+@dataclass
+class _Instance:
+    """One configuration's protocol instances at this server."""
+
+    cluster: ClusterConfig
+    sp: SequencePaxos
+    ble: BallotLeaderElection
+    #: Global log index where this configuration's segment starts.
+    global_offset: int
+    #: The active configuration accepts proposals and runs BLE.
+    active: bool = True
+
+
+@dataclass
+class ServerStats:
+    """Counters for the evaluation harness."""
+
+    dropped_cross_config: int = 0
+    buffered_in_transition: int = 0
+    reconfigurations: int = 0
+
+
+class OmniPaxosServer(Replica):
+    """A complete Omni-Paxos RSM server."""
+
+    def __init__(self, config: OmniPaxosConfig):
+        self._config = config
+        self._instances: Dict[int, _Instance] = {}
+        self._current_cid: Optional[int] = None
+        #: The service layer's replicated log: every decided entry across
+        #: all configurations, in order (segments end with stop-signs).
+        self._global_log: List[Any] = []
+        self._decided_out: List[Tuple[int, Any]] = []
+        self._migration: Optional[MigrationPlan] = None
+        self._pending_cluster: Optional[ClusterConfig] = None
+        #: Peers we still owe a NewConfiguration announcement -> deadline.
+        self._announce_deadlines: Dict[int, float] = {}
+        self._announce_msg: Optional[NewConfiguration] = None
+        self._transition_buffer: List[Any] = []
+        #: Proposals awaiting the next flush (flush_interval_ms batching).
+        self._flush_buffer: List[Any] = []
+        self._next_flush_at: Optional[float] = None
+        self._outbox: List[Tuple[int, Envelope]] = []
+        self._now = 0.0
+        self._started = False
+        self._crashed = False
+        self.stats = ServerStats()
+
+    # ------------------------------------------------------------------
+    # Replica interface: accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def pid(self) -> int:
+        return self._config.pid
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        inst = self._current_instance()
+        if inst is not None:
+            return inst.cluster.servers
+        if self._pending_cluster is not None:
+            return self._pending_cluster.servers
+        return self._config.cluster.servers
+
+    @property
+    def is_leader(self) -> bool:
+        inst = self._current_instance()
+        return inst is not None and inst.active and inst.sp.is_leader
+
+    @property
+    def leader_pid(self) -> Optional[int]:
+        inst = self._current_instance()
+        if inst is None:
+            return None
+        return inst.sp.leader_pid
+
+    @property
+    def current_config(self) -> Optional[ClusterConfig]:
+        inst = self._current_instance()
+        return inst.cluster if inst is not None else None
+
+    @property
+    def global_log_len(self) -> int:
+        """Length of the decided replicated log at this server."""
+        return len(self._global_log)
+
+    @property
+    def migrating(self) -> bool:
+        return self._migration is not None
+
+    def read_log(self, from_idx: int = 0, to_idx: Optional[int] = None) -> Tuple[Any, ...]:
+        """A snapshot of the decided replicated log (service layer view)."""
+        if to_idx is None:
+            to_idx = len(self._global_log)
+        return tuple(self._global_log[from_idx:to_idx])
+
+    def ble_of_current(self) -> Optional[BallotLeaderElection]:
+        """The active BLE instance (for tests and metrics)."""
+        inst = self._current_instance()
+        return inst.ble if inst is not None else None
+
+    def sp_of_current(self) -> Optional[SequencePaxos]:
+        """The active Sequence Paxos instance (for tests and metrics)."""
+        inst = self._current_instance()
+        return inst.sp if inst is not None else None
+
+    # ------------------------------------------------------------------
+    # Replica interface: driving
+    # ------------------------------------------------------------------
+
+    def start(self, now_ms: float) -> None:
+        """Start the initial configuration's instances."""
+        if self._started:
+            return
+        self._started = True
+        self._now = now_ms
+        if not self._config.is_joiner:
+            self._start_instance(self._config.cluster, now_ms, announce=False)
+
+    def tick(self, now_ms: float) -> None:
+        if self._crashed or not self._started:
+            return
+        self._now = now_ms
+        inst = self._current_instance()
+        if inst is not None and inst.active:
+            inst.ble.tick(now_ms)
+            inst.sp.tick(now_ms)
+        if self._migration is not None:
+            self._migration.tick(now_ms)
+            self._drain_migration(now_ms)
+        self._tick_announcements(now_ms)
+        self._flush_proposals(now_ms)
+        self._pump()
+
+    def _flush_proposals(self, now_ms: float) -> None:
+        """Drain the flush buffer as one replication batch when due."""
+        if self._next_flush_at is None or now_ms < self._next_flush_at:
+            return
+        self._next_flush_at = None
+        if not self._flush_buffer:
+            return
+        pending, self._flush_buffer = self._flush_buffer, []
+        inst = self._current_instance()
+        if inst is None or not inst.active or inst.sp.stopped():
+            self._transition_buffer.extend(pending)
+            self.stats.buffered_in_transition += len(pending)
+            return
+        inst.sp.propose_batch(pending)
+
+    def on_message(self, src: int, msg: Any, now_ms: float) -> None:
+        if self._crashed or not self._started:
+            return
+        self._now = now_ms
+        if not isinstance(msg, Envelope):
+            raise TypeError(f"OmniPaxosServer expects Envelope, got {type(msg)!r}")
+        if msg.component == COMPONENT_SERVICE:
+            self._on_service(src, msg.payload, now_ms)
+        else:
+            inst = self._instances.get(msg.config_id)
+            if inst is None:
+                self.stats.dropped_cross_config += 1
+            elif msg.component == COMPONENT_BLE:
+                if inst.active:
+                    inst.ble.on_message(src, msg.payload)
+            elif msg.component == COMPONENT_SP:
+                inst.sp.on_message(src, msg.payload)
+        self._pump()
+
+    def propose(self, entry: Any, now_ms: float) -> None:
+        """Propose a client entry.
+
+        While the server transitions between configurations (stop-sign in the
+        log but the next instance not started yet), proposals are buffered
+        and re-proposed in the new configuration in one batch — this is what
+        masks reconfiguration downtime at high pipeline levels (paper §7.3).
+        """
+        if self._crashed or not self._started:
+            raise NotLeaderError("server is down")
+        self._now = now_ms
+        inst = self._current_instance()
+        if inst is None or not inst.active:
+            if self._retired() or (self._pending_cluster is None
+                                   and not self._instances):
+                raise NotLeaderError("server is not part of the current configuration")
+            self._transition_buffer.append(entry)
+            self.stats.buffered_in_transition += 1
+            return
+        if inst.sp.stopped():
+            self._transition_buffer.append(entry)
+            self.stats.buffered_in_transition += 1
+            return
+        if self._config.flush_interval_ms is not None:
+            self._flush_buffer.append(entry)
+            if self._next_flush_at is None:
+                self._next_flush_at = now_ms + self._config.flush_interval_ms
+            return
+        inst.sp.propose(entry)
+        self._pump()
+
+    def propose_batch(self, entries: List[Any], now_ms: float) -> None:
+        """Propose several entries in one replication message."""
+        if self._crashed or not self._started:
+            raise NotLeaderError("server is down")
+        self._now = now_ms
+        inst = self._current_instance()
+        if inst is None or not inst.active or inst.sp.stopped():
+            for entry in entries:
+                self.propose(entry, now_ms)
+            return
+        inst.sp.propose_batch(entries)
+        self._pump()
+
+    def holds_read_lease(self, now_ms: float, safety: float = 0.8) -> bool:
+        """Whether this leader may serve *local* linearizable reads.
+
+        The lease argument: a BLE takeover requires some majority member to
+        close a heartbeat round in which this leader's ballot was absent —
+        impossible while this leader keeps collecting majority replies every
+        round. If a majority was heard within ``safety * hb_period`` ago, no
+        competing leader can have been elected yet, so the local decided
+        state reflects every committed write. ``safety < 1`` absorbs timer
+        skew between servers.
+        """
+        inst = self._current_instance()
+        if inst is None or not inst.active or not inst.sp.is_leader:
+            return False
+        window = safety * self._config.hb_period_ms
+        return inst.ble.quorum_heard_within(now_ms, window)
+
+    def trim(self, global_idx: Optional[int] = None) -> int:
+        """Compact the current configuration's replication log (leader only).
+
+        ``global_idx`` is in replicated-log coordinates; ``None`` trims as
+        far as currently safe (decided at every server). The service layer's
+        own copy of the log is kept — it is what log migration serves to
+        joining servers — so this reclaims replication-layer storage, like
+        segment archival in Delos-style designs. Returns the global index
+        trimmed to.
+        """
+        inst = self._current_instance()
+        if inst is None or not inst.active:
+            raise NotLeaderError("no active configuration at this server")
+        local = None if global_idx is None else max(
+            global_idx - inst.global_offset, 0
+        )
+        trimmed = inst.sp.trim(local)
+        self._pump()
+        return inst.global_offset + trimmed
+
+    def propose_reconfiguration(self, servers: Tuple[int, ...],
+                                metadata: Optional[bytes] = None,
+                                now_ms: Optional[float] = None) -> None:
+        """Propose moving the cluster to member set ``servers``."""
+        inst = self._current_instance()
+        if inst is None or not inst.active:
+            raise NotLeaderError("no active configuration at this server")
+        if now_ms is not None:
+            self._now = now_ms
+        inst.sp.propose_reconfiguration(servers, metadata)
+        self._pump()
+
+    def take_outbox(self) -> List[Tuple[int, Envelope]]:
+        out, self._outbox = self._outbox, []
+        return out
+
+    def take_decided(self) -> List[Tuple[int, Any]]:
+        out, self._decided_out = self._decided_out, []
+        return out
+
+    # ------------------------------------------------------------------
+    # Replica interface: failures
+    # ------------------------------------------------------------------
+
+    def on_session_drop(self, peer: int, now_ms: float) -> None:
+        """A transport session to ``peer`` was re-established after a drop."""
+        if self._crashed or not self._started:
+            return
+        self._now = now_ms
+        inst = self._current_instance()
+        if inst is not None and peer in inst.cluster.servers:
+            inst.sp.reconnected(peer)
+        self._pump()
+
+    def crash(self) -> None:
+        """Lose all volatile state (persistent storage survives)."""
+        self._crashed = True
+
+    def recover(self, now_ms: float) -> None:
+        """Restart after a crash: rebuild volatile protocol state.
+
+        Sequence Paxos reloads from storage and enters the recover state,
+        asking peers for a Prepare (paper section 4.1.3). BLE restores its
+        own ballot from the persisted promise so LE3 is preserved.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self._now = now_ms
+        inst = self._current_instance()
+        if inst is None:
+            return
+        cluster = inst.cluster
+        sp_cfg = SequencePaxosConfig(
+            pid=self.pid,
+            peers=cluster.peers_of(self.pid),
+            config_id=cluster.config_id,
+            resend_period_ms=4 * self._config.hb_period_ms,
+        )
+        sp = SequencePaxos(sp_cfg, inst.sp.storage)
+        sp.fail_recover()
+        promise = sp.storage.get_promise()
+        ble = BallotLeaderElection(
+            self._ble_config(cluster),
+            initial_ballot=Ballot(
+                n=promise.n, priority=self._config.priority, pid=self.pid
+            ),
+        )
+        ble.start(now_ms)
+        inst.sp = sp
+        inst.ble = ble
+        # Drop any global-log entries the service layer had applied beyond
+        # what storage proves decided (none with persistent storage, but be
+        # defensive about the invariant).
+        proven = inst.global_offset + sp.decided_idx
+        del self._global_log[proven:]
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # internals: instances and pumping
+    # ------------------------------------------------------------------
+
+    def _current_instance(self) -> Optional[_Instance]:
+        if self._current_cid is None:
+            return None
+        return self._instances.get(self._current_cid)
+
+    def _retired(self) -> bool:
+        """True when this server is not part of any current/future config."""
+        if self._pending_cluster is not None:
+            return self.pid not in self._pending_cluster.servers
+        inst = self._current_instance()
+        return inst is not None and not inst.active
+
+    def _ble_config(self, cluster: ClusterConfig) -> BLEConfig:
+        return BLEConfig(
+            pid=self.pid,
+            peers=cluster.peers_of(self.pid),
+            hb_period_ms=self._config.hb_period_ms,
+            priority=self._config.priority,
+            use_qc_flag=self._config.use_qc_flag,
+            connectivity_priority=self._config.connectivity_priority,
+        )
+
+    def _start_instance(self, cluster: ClusterConfig, now_ms: float,
+                        announce: bool) -> None:
+        sp_cfg = SequencePaxosConfig(
+            pid=self.pid,
+            peers=cluster.peers_of(self.pid),
+            config_id=cluster.config_id,
+            resend_period_ms=4 * self._config.hb_period_ms,
+        )
+        storage = self._config.storage_factory(cluster.config_id)
+        sp = SequencePaxos(sp_cfg, storage)
+        seed: Optional[Ballot] = None
+        if cluster.config_id == self._config.cluster.config_id and \
+                self._config.initial_leader is not None:
+            if self._config.initial_leader not in cluster.servers:
+                raise ConfigError("initial_leader must be a configuration member")
+            seed = Ballot(n=1, priority=0, pid=self._config.initial_leader)
+        ble = BallotLeaderElection(self._ble_config(cluster), initial_leader=seed)
+        ble.start(now_ms)
+        inst = _Instance(
+            cluster=cluster, sp=sp, ble=ble, global_offset=len(self._global_log)
+        )
+        if sp.decided_idx > 0:
+            # The storage factory handed us pre-decided state (e.g. a
+            # benchmark pre-loading the log): the service layer's replicated
+            # log must include it, silently (it is history, not news).
+            self._global_log.extend(storage.get_entries(0, sp.decided_idx))
+        self._instances[cluster.config_id] = inst
+        self._current_cid = cluster.config_id
+        self._migration = None
+        self._pending_cluster = None
+        if seed is not None and seed.pid == self.pid:
+            sp.handle_leader(seed)
+        if announce:
+            for peer in cluster.peers_of(self.pid):
+                self._send_service(peer, JoinComplete(cluster.config_id))
+        if self._transition_buffer:
+            pending, self._transition_buffer = self._transition_buffer, []
+            sp.propose_batch(pending)
+        self._pump()
+
+    def _send_service(self, dst: int, payload: Any) -> None:
+        cid = self._current_cid if self._current_cid is not None else 0
+        self._outbox.append((dst, Envelope(cid, COMPONENT_SERVICE, payload)))
+
+    def _pump(self) -> None:
+        """Move data between components and fill the outbox.
+
+        Repeats until a fixed point because a leader event can generate
+        Prepare messages, deciding entries can surface a stop-sign, etc.
+        """
+        progressed = True
+        while progressed:
+            progressed = False
+            for cid, inst in list(self._instances.items()):
+                if inst.active:
+                    for ballot in inst.ble.take_leader_events():
+                        inst.sp.handle_leader(ballot)
+                        progressed = True
+                    for dst, msg in inst.ble.take_outbox():
+                        self._outbox.append((dst, Envelope(cid, COMPONENT_BLE, msg)))
+                for dst, msg in inst.sp.take_outbox():
+                    self._outbox.append((dst, Envelope(cid, COMPONENT_SP, msg)))
+                for local_idx, entry in inst.sp.take_decided():
+                    progressed = True
+                    global_idx = inst.global_offset + local_idx
+                    if global_idx == len(self._global_log):
+                        self._global_log.append(entry)
+                        self._decided_out.append((global_idx, entry))
+                        if is_stopsign(entry) and inst.active:
+                            self._handle_stopsign(entry)
+                    # else: already obtained via migration; nothing to do.
+
+    # ------------------------------------------------------------------
+    # internals: reconfiguration (service layer)
+    # ------------------------------------------------------------------
+
+    def _handle_stopsign(self, stopsign: StopSign) -> None:
+        """The current configuration decided a stop-sign: transition."""
+        inst = self._current_instance()
+        assert inst is not None
+        inst.active = False  # old BLE stops; old SP keeps syncing stragglers
+        self.stats.reconfigurations += 1
+        new_cluster = ClusterConfig(stopsign.config_id, stopsign.servers)
+        donors = tuple(p for p in inst.cluster.servers if p != self.pid)
+        self._announce_msg = NewConfiguration(
+            config_id=new_cluster.config_id,
+            servers=new_cluster.servers,
+            log_len=len(self._global_log),
+            donors=donors + (self.pid,),
+            metadata=stopsign.metadata,
+        )
+        self._announce_deadlines = {
+            peer: self._now for peer in new_cluster.servers if peer != self.pid
+        }
+        if self.pid in new_cluster.servers:
+            self._pending_cluster = new_cluster
+            self._start_instance(new_cluster, self._now, announce=True)
+        else:
+            self._pending_cluster = new_cluster
+            self._current_cid = None  # retired: donor only
+
+    def _tick_announcements(self, now_ms: float) -> None:
+        if self._announce_msg is None:
+            return
+        for peer, deadline in list(self._announce_deadlines.items()):
+            if now_ms >= deadline:
+                self._send_service(peer, self._announce_msg)
+                self._announce_deadlines[peer] = (
+                    now_ms + self._config.announce_period_ms
+                )
+
+    def _on_service(self, src: int, msg: Any, now_ms: float) -> None:
+        if isinstance(msg, NewConfiguration):
+            self._on_new_configuration(src, msg, now_ms)
+        elif isinstance(msg, LogPullRequest):
+            segment = serve_pull_request(self._global_log, msg)
+            self._send_service(src, segment)
+        elif isinstance(msg, LogSegment):
+            if self._migration is not None:
+                self._migration.on_segment(src, msg, now_ms)
+                self._drain_migration(now_ms)
+        elif isinstance(msg, JoinComplete):
+            self._announce_deadlines.pop(src, None)
+            if self._migration is not None and \
+                    self._migration.config_id == msg.config_id:
+                self._migration.add_donor(src)
+
+    def _on_new_configuration(self, src: int, msg: NewConfiguration,
+                              now_ms: float) -> None:
+        if msg.config_id in self._instances:
+            # Already started: confirm so the announcer stops retransmitting.
+            self._send_service(src, JoinComplete(msg.config_id))
+            return
+        if self.pid not in msg.servers:
+            return
+        if self._migration is not None:
+            if self._migration.config_id == msg.config_id:
+                self._migration.add_donor(src)
+            return
+        cluster = ClusterConfig(msg.config_id, msg.servers)
+        have = len(self._global_log)
+        if have >= msg.log_len:
+            self._pending_cluster = cluster
+            self._start_instance(cluster, now_ms, announce=True)
+            return
+        donors = [p for p in msg.donors if p != self.pid] or [src]
+        self._pending_cluster = cluster
+        self._migration = MigrationPlan(
+            config_id=msg.config_id,
+            from_idx=have,
+            to_idx=msg.log_len,
+            donors=donors,
+            strategy=self._config.migration_strategy,
+            chunk_entries=self._config.migration_chunk_entries,
+            retry_ms=self._config.migration_retry_ms,
+        )
+        self._migration.start(now_ms)
+        self._drain_migration(now_ms)
+
+    def _drain_migration(self, now_ms: float) -> None:
+        migration = self._migration
+        if migration is None:
+            return
+        for dst, req in migration.take_outbox():
+            self._send_service(dst, req)
+        if not migration.complete():
+            return
+        entries = migration.collected_entries()
+        for entry in entries:
+            self._global_log.append(entry)
+            self._decided_out.append((len(self._global_log) - 1, entry))
+        assert self._pending_cluster is not None
+        cluster = self._pending_cluster
+        self._migration = None
+        self._start_instance(cluster, now_ms, announce=True)

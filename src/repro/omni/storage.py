@@ -1,0 +1,418 @@
+"""Storage backends for Sequence Paxos replicas.
+
+The paper assumes the fail-recovery model: "State stored in non-volatile
+storage is recoverable" (section 3). A replica persists four things:
+
+- the log of accepted entries,
+- ``promise`` — the highest round it has promised (nProm),
+- ``acc_rnd`` — the round its accepted log was written in,
+- ``decided_idx`` — the length of the decided prefix.
+
+:class:`InMemoryStorage` is used by the simulator (crash-recovery tests keep
+the storage object across a simulated crash). :class:`FileStorage` is a real
+write-ahead implementation: an append-only record file replayed on open,
+for use with the asyncio runtime and the failure-injection tests.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+from abc import ABC, abstractmethod
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.omni.ballot import Ballot, BOTTOM
+
+_REC_APPEND = 0
+_REC_TRUNCATE = 1
+_REC_PROMISE = 2
+_REC_ACC_RND = 3
+_REC_DECIDED = 4
+_REC_COMPACT = 5
+_REC_SNAPSHOT = 6
+
+_LEN = struct.Struct(">I")
+
+
+class Storage(ABC):
+    """Persistent state of one Sequence Paxos replica.
+
+    Log indices are *logical* and stable across compaction: after
+    :meth:`compact_prefix`, entries below :meth:`compacted_idx` are gone
+    from storage but every surviving entry keeps its original index.
+    """
+
+    # -- log --------------------------------------------------------------
+
+    @abstractmethod
+    def append_entry(self, entry: Any) -> int:
+        """Append one entry; return the new log length."""
+
+    @abstractmethod
+    def append_entries(self, entries: Sequence[Any]) -> int:
+        """Append several entries; return the new log length."""
+
+    @abstractmethod
+    def truncate_suffix(self, from_idx: int) -> None:
+        """Drop every entry at index >= ``from_idx``."""
+
+    @abstractmethod
+    def get_entries(self, from_idx: int, to_idx: int) -> Tuple[Any, ...]:
+        """Entries in ``[from_idx, to_idx)``; clamped to the log bounds."""
+
+    @abstractmethod
+    def log_len(self) -> int:
+        """Number of entries in the log."""
+
+    def get_suffix(self, from_idx: int) -> Tuple[Any, ...]:
+        """Entries from ``from_idx`` to the end of the log."""
+        return self.get_entries(from_idx, self.log_len())
+
+    def get_entry(self, idx: int) -> Any:
+        entries = self.get_entries(idx, idx + 1)
+        if not entries:
+            raise StorageError(f"log index {idx} out of range")
+        return entries[0]
+
+    # -- compaction ---------------------------------------------------------
+
+    @abstractmethod
+    def compact_prefix(self, idx: int) -> None:
+        """Reclaim entries below logical index ``idx``.
+
+        Only decided entries may be compacted; callers (Sequence Paxos'
+        trim) additionally ensure every server in the configuration has
+        decided past ``idx`` so nobody will ever need the prefix again.
+        """
+
+    @abstractmethod
+    def compacted_idx(self) -> int:
+        """First logical index still present in storage."""
+
+    # -- snapshots ------------------------------------------------------------
+
+    @abstractmethod
+    def set_snapshot(self, state: Any, covers_idx: int) -> None:
+        """Record a snapshot folding entries ``[0, covers_idx)``."""
+
+    @abstractmethod
+    def get_snapshot(self) -> Optional[Tuple[Any, int]]:
+        """The stored ``(state, covers_idx)`` snapshot, if any."""
+
+    def install_snapshot(self, state: Any, covers_idx: int) -> None:
+        """Adopt a snapshot received from the leader.
+
+        Everything below ``covers_idx`` — possibly the whole log — is
+        replaced by ``state``; the log's logical length becomes at least
+        ``covers_idx`` and the decided index advances to cover it.
+        """
+        if covers_idx <= self.compacted_idx():
+            self.set_snapshot(state, covers_idx)
+            return
+        # Drop every entry below covers_idx, then mark them compacted. If
+        # the local log is shorter than covers_idx, it is discarded whole
+        # (those entries are superseded by the snapshot).
+        if covers_idx >= self.log_len():
+            self._reset_log_to(covers_idx)
+        else:
+            if covers_idx > self.get_decided_idx():
+                self.set_decided_idx(covers_idx)
+            self.compact_prefix(covers_idx)
+        if covers_idx > self.get_decided_idx():
+            self.set_decided_idx(covers_idx)
+        self.set_snapshot(state, covers_idx)
+
+    @abstractmethod
+    def _reset_log_to(self, logical_len: int) -> None:
+        """Discard the whole log, leaving an empty log whose compacted (and
+        logical) length is ``logical_len``. Snapshot-install plumbing."""
+
+    # -- paxos variables ---------------------------------------------------
+
+    @abstractmethod
+    def set_promise(self, ballot: Ballot) -> None: ...
+
+    @abstractmethod
+    def get_promise(self) -> Ballot: ...
+
+    @abstractmethod
+    def set_accepted_round(self, ballot: Ballot) -> None: ...
+
+    @abstractmethod
+    def get_accepted_round(self) -> Ballot: ...
+
+    @abstractmethod
+    def set_decided_idx(self, idx: int) -> None: ...
+
+    @abstractmethod
+    def get_decided_idx(self) -> int: ...
+
+
+class InMemoryStorage(Storage):
+    """Volatile storage; survives *simulated* crashes because the test
+    harness keeps the object and hands it to the restarted replica."""
+
+    def __init__(self) -> None:
+        self._log: List[Any] = []
+        self._compacted = 0
+        self._snapshot: Optional[Tuple[Any, int]] = None
+        self._promise: Ballot = BOTTOM
+        self._acc_rnd: Ballot = BOTTOM
+        self._decided_idx: int = 0
+
+    def append_entry(self, entry: Any) -> int:
+        self._log.append(entry)
+        return self.log_len()
+
+    def append_entries(self, entries: Sequence[Any]) -> int:
+        self._log.extend(entries)
+        return self.log_len()
+
+    def truncate_suffix(self, from_idx: int) -> None:
+        if from_idx < self._decided_idx:
+            raise StorageError(
+                f"refusing to truncate decided entries: {from_idx} < {self._decided_idx}"
+            )
+        del self._log[max(from_idx - self._compacted, 0):]
+
+    def get_entries(self, from_idx: int, to_idx: int) -> Tuple[Any, ...]:
+        from_idx = max(0, from_idx)
+        if from_idx < self._compacted and from_idx < to_idx:
+            raise StorageError(
+                f"index {from_idx} was compacted away (first kept: "
+                f"{self._compacted})"
+            )
+        lo = from_idx - self._compacted
+        hi = max(to_idx - self._compacted, lo)
+        return tuple(self._log[lo:hi])
+
+    def log_len(self) -> int:
+        return self._compacted + len(self._log)
+
+    def compact_prefix(self, idx: int) -> None:
+        if idx > self._decided_idx:
+            raise StorageError(
+                f"cannot compact undecided entries: {idx} > {self._decided_idx}"
+            )
+        if idx <= self._compacted:
+            return
+        del self._log[:idx - self._compacted]
+        self._compacted = idx
+
+    def compacted_idx(self) -> int:
+        return self._compacted
+
+    def set_snapshot(self, state: Any, covers_idx: int) -> None:
+        self._snapshot = (state, covers_idx)
+
+    def get_snapshot(self) -> Optional[Tuple[Any, int]]:
+        return self._snapshot
+
+    def _reset_log_to(self, logical_len: int) -> None:
+        self._log = []
+        self._compacted = logical_len
+        if self._decided_idx < logical_len:
+            self._decided_idx = logical_len
+
+    def set_promise(self, ballot: Ballot) -> None:
+        self._promise = ballot
+
+    def get_promise(self) -> Ballot:
+        return self._promise
+
+    def set_accepted_round(self, ballot: Ballot) -> None:
+        self._acc_rnd = ballot
+
+    def get_accepted_round(self) -> Ballot:
+        return self._acc_rnd
+
+    def set_decided_idx(self, idx: int) -> None:
+        if idx < self._decided_idx:
+            raise StorageError(
+                f"decided index must be monotone: {idx} < {self._decided_idx}"
+            )
+        self._decided_idx = idx
+
+    def get_decided_idx(self) -> int:
+        return self._decided_idx
+
+
+class FileStorage(Storage):
+    """Append-only write-ahead storage backed by a single record file.
+
+    Records are length-framed pickles of ``(tag, payload)``. On open the
+    file is replayed to rebuild the in-memory view, so reads are always
+    served from memory while every mutation is durably appended first.
+    """
+
+    def __init__(self, path: str, sync: bool = False) -> None:
+        self._path = path
+        self._sync = sync
+        self._log: List[Any] = []
+        self._compacted = 0
+        self._snapshot: Optional[Tuple[Any, int]] = None
+        self._promise: Ballot = BOTTOM
+        self._acc_rnd: Ballot = BOTTOM
+        self._decided_idx: int = 0
+        self._replay()
+        self._file = open(path, "ab")
+
+    # -- record plumbing ---------------------------------------------------
+
+    def _replay(self) -> None:
+        if not os.path.exists(self._path):
+            return
+        try:
+            with open(self._path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            raise StorageError(f"cannot read {self._path}: {exc}") from exc
+        buf = io.BytesIO(data)
+        while True:
+            head = buf.read(_LEN.size)
+            if len(head) < _LEN.size:
+                break  # clean EOF or torn final record: stop replay here
+            (size,) = _LEN.unpack(head)
+            body = buf.read(size)
+            if len(body) < size:
+                break  # torn write at crash: discard the partial record
+            tag, payload = pickle.loads(body)
+            self._apply_record(tag, payload)
+
+    def _apply_record(self, tag: int, payload: Any) -> None:
+        if tag == _REC_APPEND:
+            self._log.extend(payload)
+        elif tag == _REC_TRUNCATE:
+            del self._log[max(payload - self._compacted, 0):]
+        elif tag == _REC_COMPACT:
+            del self._log[:payload - self._compacted]
+            self._compacted = payload
+        elif tag == _REC_SNAPSHOT:
+            state, covers, reset = payload
+            self._snapshot = (state, covers)
+            if reset:
+                self._log = []
+                self._compacted = covers
+                self._decided_idx = max(self._decided_idx, covers)
+        elif tag == _REC_PROMISE:
+            self._promise = payload
+        elif tag == _REC_ACC_RND:
+            self._acc_rnd = payload
+        elif tag == _REC_DECIDED:
+            self._decided_idx = payload
+        else:
+            raise StorageError(f"unknown record tag {tag}")
+
+    def _write_record(self, tag: int, payload: Any) -> None:
+        body = pickle.dumps((tag, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            self._file.write(_LEN.pack(len(body)))
+            self._file.write(body)
+            self._file.flush()
+            if self._sync:
+                os.fsync(self._file.fileno())
+        except OSError as exc:
+            raise StorageError(f"cannot write {self._path}: {exc}") from exc
+
+    def close(self) -> None:
+        self._file.close()
+
+    # -- Storage API ---------------------------------------------------------
+
+    def append_entry(self, entry: Any) -> int:
+        return self.append_entries([entry])
+
+    def append_entries(self, entries: Sequence[Any]) -> int:
+        entries = list(entries)
+        self._write_record(_REC_APPEND, entries)
+        self._log.extend(entries)
+        return self.log_len()
+
+    def truncate_suffix(self, from_idx: int) -> None:
+        if from_idx < self._decided_idx:
+            raise StorageError(
+                f"refusing to truncate decided entries: {from_idx} < {self._decided_idx}"
+            )
+        self._write_record(_REC_TRUNCATE, from_idx)
+        del self._log[max(from_idx - self._compacted, 0):]
+
+    def get_entries(self, from_idx: int, to_idx: int) -> Tuple[Any, ...]:
+        from_idx = max(0, from_idx)
+        if from_idx < self._compacted and from_idx < to_idx:
+            raise StorageError(
+                f"index {from_idx} was compacted away (first kept: "
+                f"{self._compacted})"
+            )
+        lo = from_idx - self._compacted
+        hi = max(to_idx - self._compacted, lo)
+        return tuple(self._log[lo:hi])
+
+    def log_len(self) -> int:
+        return self._compacted + len(self._log)
+
+    def compact_prefix(self, idx: int) -> None:
+        if idx > self._decided_idx:
+            raise StorageError(
+                f"cannot compact undecided entries: {idx} > {self._decided_idx}"
+            )
+        if idx <= self._compacted:
+            return
+        self._write_record(_REC_COMPACT, idx)
+        del self._log[:idx - self._compacted]
+        self._compacted = idx
+
+    def compacted_idx(self) -> int:
+        return self._compacted
+
+    def set_snapshot(self, state: Any, covers_idx: int) -> None:
+        self._write_record(_REC_SNAPSHOT, (state, covers_idx, False))
+        self._snapshot = (state, covers_idx)
+
+    def get_snapshot(self) -> Optional[Tuple[Any, int]]:
+        return self._snapshot
+
+    def _reset_log_to(self, logical_len: int) -> None:
+        # Persist the reset together with the (following) snapshot record.
+        self._write_record(_REC_SNAPSHOT, (None, logical_len, True))
+        self._log = []
+        self._compacted = logical_len
+        if self._decided_idx < logical_len:
+            self._decided_idx = logical_len
+
+    def set_promise(self, ballot: Ballot) -> None:
+        self._write_record(_REC_PROMISE, ballot)
+        self._promise = ballot
+
+    def get_promise(self) -> Ballot:
+        return self._promise
+
+    def set_accepted_round(self, ballot: Ballot) -> None:
+        self._write_record(_REC_ACC_RND, ballot)
+        self._acc_rnd = ballot
+
+    def get_accepted_round(self) -> Ballot:
+        return self._acc_rnd
+
+    def set_decided_idx(self, idx: int) -> None:
+        if idx < self._decided_idx:
+            raise StorageError(
+                f"decided index must be monotone: {idx} < {self._decided_idx}"
+            )
+        self._write_record(_REC_DECIDED, idx)
+        self._decided_idx = idx
+
+    def get_decided_idx(self) -> int:
+        return self._decided_idx
+
+
+def snapshot_state(storage: Storage) -> Optional[dict]:
+    """Debugging helper: a dict view of the persistent state."""
+    return {
+        "log_len": storage.log_len(),
+        "promise": storage.get_promise(),
+        "acc_rnd": storage.get_accepted_round(),
+        "decided_idx": storage.get_decided_idx(),
+    }

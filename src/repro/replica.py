@@ -1,0 +1,94 @@
+"""The driving interface every protocol replica implements.
+
+The simulator (:mod:`repro.sim`) and the asyncio runtime
+(:mod:`repro.runtime`) drive protocol instances exclusively through this
+interface, so Omni-Paxos, Raft, Multi-Paxos and VR are all interchangeable
+in every experiment harness.
+
+The contract is sans-io and pull-based:
+
+- the harness calls :meth:`tick` regularly (timer resolution) and
+  :meth:`on_message` for each delivered message,
+- after any call the harness drains :meth:`take_outbox` and delivers the
+  ``(dst, message)`` pairs subject to the network model,
+- decided entries are drained with :meth:`take_decided` as
+  ``(global_index, entry)`` pairs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, List, Optional, Tuple
+
+
+class Replica(ABC):
+    """A protocol replica the experiment harnesses can drive."""
+
+    @property
+    @abstractmethod
+    def pid(self) -> int:
+        """This server's unique positive id."""
+
+    @property
+    @abstractmethod
+    def members(self) -> Tuple[int, ...]:
+        """Current configuration member pids (including this server)."""
+
+    @property
+    @abstractmethod
+    def is_leader(self) -> bool:
+        """True when this server currently acts as the leader."""
+
+    @property
+    @abstractmethod
+    def leader_pid(self) -> Optional[int]:
+        """Best-known leader pid, or None if unknown."""
+
+    @abstractmethod
+    def start(self, now_ms: float) -> None:
+        """Arm timers; called once before any tick."""
+
+    @abstractmethod
+    def tick(self, now_ms: float) -> None:
+        """Advance protocol timers to ``now_ms``."""
+
+    @abstractmethod
+    def on_message(self, src: int, msg: Any, now_ms: float) -> None:
+        """Handle one message delivered from peer ``src``."""
+
+    @abstractmethod
+    def propose(self, entry: Any, now_ms: float) -> None:
+        """Submit a client entry for replication.
+
+        Implementations buffer or forward when not the leader; they raise
+        :class:`repro.errors.StoppedError` / :class:`repro.errors.NotLeaderError`
+        only when the entry cannot possibly be handled here.
+        """
+
+    def propose_batch(self, entries: List[Any], now_ms: float) -> None:
+        """Submit several entries at once.
+
+        Protocols override this to replicate the batch in a single message;
+        the default just loops over :meth:`propose`.
+        """
+        for entry in entries:
+            self.propose(entry, now_ms)
+
+    @abstractmethod
+    def take_outbox(self) -> List[Tuple[int, Any]]:
+        """Drain pending outgoing ``(dst, message)`` pairs."""
+
+    @abstractmethod
+    def take_decided(self) -> List[Tuple[int, Any]]:
+        """Drain newly decided ``(global_index, entry)`` pairs."""
+
+    # -- failure handling (optional overrides) -----------------------------
+
+    def on_session_drop(self, peer: int, now_ms: float) -> None:
+        """A transport session to ``peer`` dropped and was re-established."""
+
+    def crash(self) -> None:
+        """The server lost its volatile state (the harness stops driving it)."""
+
+    def recover(self, now_ms: float) -> None:
+        """Restart after a crash, reloading persistent state."""

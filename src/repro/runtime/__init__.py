@@ -1,0 +1,20 @@
+"""Asyncio runtime: run any :class:`repro.replica.Replica` over real TCP.
+
+The simulator (:mod:`repro.sim`) is the substrate for the paper's
+experiments; this runtime exists so the very same protocol objects can also
+run as real processes on a real network — the litmus test that the sans-io
+core has no hidden simulator dependencies. ``examples/kv_store_cluster.py``
+boots a live three-server cluster on localhost with it.
+"""
+
+from repro.runtime.codec import encode_frame, FrameDecoder
+from repro.runtime.transport import TcpMesh, PeerAddress
+from repro.runtime.node import RuntimeNode
+
+__all__ = [
+    "encode_frame",
+    "FrameDecoder",
+    "TcpMesh",
+    "PeerAddress",
+    "RuntimeNode",
+]

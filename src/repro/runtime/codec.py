@@ -1,0 +1,53 @@
+"""Length-prefixed pickle framing for the TCP transport.
+
+Frames are ``[4-byte big-endian length][pickle payload]``. Pickle keeps the
+transport message-type-agnostic (every protocol's dataclasses just work).
+
+Security note: pickle is only safe between mutually trusted servers — which
+is the RSM deployment model (all replicas run the same trusted binary). Do
+not point this transport at untrusted peers.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, List
+
+from repro.errors import TransportError
+
+_LEN = struct.Struct(">I")
+
+#: Upper bound on a single frame; protects against corrupt length headers.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def encode_frame(src: int, payload: Any) -> bytes:
+    """Encode one ``(src, payload)`` message into a framed byte string."""
+    body = pickle.dumps((src, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME_BYTES:
+        raise TransportError(f"frame too large: {len(body)} bytes")
+    return _LEN.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental decoder: feed bytes, take complete messages."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Any]:
+        """Absorb ``data``; return all now-complete ``(src, payload)``."""
+        self._buffer.extend(data)
+        out: List[Any] = []
+        while True:
+            if len(self._buffer) < _LEN.size:
+                return out
+            (size,) = _LEN.unpack(self._buffer[:_LEN.size])
+            if size > MAX_FRAME_BYTES:
+                raise TransportError(f"frame length {size} exceeds maximum")
+            if len(self._buffer) < _LEN.size + size:
+                return out
+            body = bytes(self._buffer[_LEN.size:_LEN.size + size])
+            del self._buffer[:_LEN.size + size]
+            out.append(pickle.loads(body))

@@ -1,0 +1,120 @@
+"""RuntimeNode: drive one replica against real time and TCP.
+
+The node owns a replica and a :class:`~repro.runtime.transport.TcpMesh`,
+pumps ticks on a real-time interval, and exposes an asyncio-friendly
+``propose`` plus a decided-entry callback. All timestamps handed to the
+replica are milliseconds from ``loop.time()``, so protocol timeouts behave
+exactly as configured.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.replica import Replica
+from repro.runtime.transport import PeerAddress, TcpMesh
+
+DecidedHandler = Callable[[int, Any], None]
+
+
+class RuntimeNode:
+    """One live server process: replica + transport + timer pump."""
+
+    def __init__(
+        self,
+        replica: Replica,
+        listen: PeerAddress,
+        peers: Dict[int, PeerAddress],
+        tick_ms: float = 10.0,
+        on_decided: Optional[DecidedHandler] = None,
+    ):
+        self._replica = replica
+        self._tick_s = tick_ms / 1000.0
+        self._on_decided = on_decided
+        self._mesh = TcpMesh(
+            pid=replica.pid,
+            listen=listen,
+            peers=peers,
+            on_message=self._handle_message,
+            on_session_restored=self._handle_session_restored,
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._tick_task: Optional[asyncio.Task] = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def replica(self) -> Replica:
+        return self._replica
+
+    @property
+    def pid(self) -> int:
+        return self._replica.pid
+
+    @property
+    def is_leader(self) -> bool:
+        return self._replica.is_leader
+
+    @property
+    def leader_pid(self) -> Optional[int]:
+        return self._replica.leader_pid
+
+    def _now_ms(self) -> float:
+        assert self._loop is not None
+        return self._loop.time() * 1000.0
+
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start transport and the tick pump."""
+        if self._running:
+            return
+        self._running = True
+        self._loop = asyncio.get_event_loop()
+        await self._mesh.start()
+        self._replica.start(self._now_ms())
+        self._flush()
+        self._tick_task = asyncio.ensure_future(self._tick_loop())
+
+    async def stop(self) -> None:
+        self._running = False
+        if self._tick_task is not None:
+            self._tick_task.cancel()
+        await self._mesh.close()
+
+    def propose(self, entry: Any) -> None:
+        """Propose a client entry at this server."""
+        self._replica.propose(entry, self._now_ms())
+        self._flush()
+
+    def propose_batch(self, entries: List[Any]) -> None:
+        self._replica.propose_batch(entries, self._now_ms())
+        self._flush()
+
+    # ------------------------------------------------------------------
+
+    async def _tick_loop(self) -> None:
+        while self._running:
+            await asyncio.sleep(self._tick_s)
+            self._replica.tick(self._now_ms())
+            self._flush()
+
+    def _handle_message(self, src: int, payload: Any) -> None:
+        self._replica.on_message(src, payload, self._now_ms())
+        self._flush()
+
+    def _handle_session_restored(self, peer: int) -> None:
+        self._replica.on_session_drop(peer, self._now_ms())
+        self._flush()
+
+    def _flush(self) -> None:
+        for dst, msg in self._replica.take_outbox():
+            self._mesh.send(dst, msg)
+        if self._on_decided is None:
+            # No handler: leave decided entries queued in the replica for an
+            # external consumer (e.g. a ReplicatedKVStore pumping it).
+            return
+        for idx, entry in self._replica.take_decided():
+            self._on_decided(idx, entry)

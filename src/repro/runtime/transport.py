@@ -1,0 +1,148 @@
+"""Asyncio TCP mesh transport.
+
+Each server listens on its own address and dials every peer. A single
+outbound connection per peer carries this server's messages (TCP gives the
+session-based FIFO perfect link the protocols assume, paper section 3);
+inbound connections are receive-only. Broken connections reconnect with
+backoff, and a re-established *outbound* session triggers the session-drop
+callback so protocols can run their PrepareReq handling (section 4.1.3).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.runtime.codec import FrameDecoder, encode_frame
+
+MessageHandler = Callable[[int, Any], None]
+SessionHandler = Callable[[int], None]
+
+
+@dataclass(frozen=True)
+class PeerAddress:
+    """Where a peer listens."""
+
+    pid: int
+    host: str
+    port: int
+
+
+class TcpMesh:
+    """The full-mesh TCP transport of one server."""
+
+    def __init__(
+        self,
+        pid: int,
+        listen: PeerAddress,
+        peers: Dict[int, PeerAddress],
+        on_message: MessageHandler,
+        on_session_restored: Optional[SessionHandler] = None,
+        reconnect_initial_ms: float = 50.0,
+        reconnect_max_ms: float = 2_000.0,
+    ):
+        if listen.pid != pid:
+            raise TransportError("listen address pid mismatch")
+        self._pid = pid
+        self._listen = listen
+        self._peers = dict(peers)
+        self._on_message = on_message
+        self._on_session_restored = on_session_restored
+        self._reconnect_initial = reconnect_initial_ms / 1000.0
+        self._reconnect_max = reconnect_max_ms / 1000.0
+        self._writers: Dict[int, asyncio.StreamWriter] = {}
+        self._dial_tasks: Dict[int, asyncio.Task] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._closed = False
+        #: Peers we had connected to at least once (to detect re-sessions).
+        self._had_session: set = set()
+
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Begin listening and dialing all peers."""
+        self._server = await asyncio.start_server(
+            self._handle_inbound, self._listen.host, self._listen.port
+        )
+        for pid in self._peers:
+            self._dial_tasks[pid] = asyncio.ensure_future(self._dial_loop(pid))
+
+    async def close(self) -> None:
+        self._closed = True
+        for task in self._dial_tasks.values():
+            task.cancel()
+        for writer in self._writers.values():
+            writer.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def send(self, dst: int, payload: Any) -> None:
+        """Best-effort send; messages to unconnected peers are dropped
+        (exactly like messages over a partitioned link)."""
+        writer = self._writers.get(dst)
+        if writer is None:
+            return
+        try:
+            writer.write(encode_frame(self._pid, payload))
+        except (ConnectionError, RuntimeError):
+            self._writers.pop(dst, None)
+
+    @property
+    def connected_peers(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._writers))
+
+    # ------------------------------------------------------------------
+
+    async def _handle_inbound(self, reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> None:
+        decoder = FrameDecoder()
+        try:
+            while not self._closed:
+                data = await reader.read(64 * 1024)
+                if not data:
+                    break
+                for src, payload in decoder.feed(data):
+                    self._on_message(src, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown while this handler was mid-read: exit quietly.
+            pass
+        finally:
+            writer.close()
+
+    async def _dial_loop(self, pid: int) -> None:
+        """Keep one outbound connection to ``pid`` alive, with backoff."""
+        addr = self._peers[pid]
+        delay = self._reconnect_initial
+        while not self._closed:
+            try:
+                reader, writer = await asyncio.open_connection(addr.host, addr.port)
+            except OSError:
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, self._reconnect_max)
+                continue
+            delay = self._reconnect_initial
+            self._writers[pid] = writer
+            # Fire on every established session, including the first:
+            # messages sent before the dial completed were dropped (exactly
+            # like a partitioned link), so the replica must run its
+            # session-drop handling (PrepareReq) to resynchronize.
+            if self._on_session_restored is not None:
+                self._on_session_restored(pid)
+            self._had_session.add(pid)
+            # The outbound connection is write-only; wait for it to break.
+            try:
+                while not self._closed:
+                    data = await reader.read(4096)
+                    if not data:
+                        break
+            except ConnectionError:
+                pass
+            finally:
+                if self._writers.get(pid) is writer:
+                    self._writers.pop(pid, None)
+                writer.close()

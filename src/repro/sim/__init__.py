@@ -1,0 +1,60 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper's experiments ran on cloud VMs with link-level partitions injected
+between servers. This package reproduces that environment in virtual time:
+
+- :mod:`repro.sim.events` — the event queue and virtual clock,
+- :mod:`repro.sim.network` — per-link latency, loss and a connectivity
+  matrix for partial partitions,
+- :mod:`repro.sim.cluster` — wires any set of :class:`repro.replica.Replica`
+  objects to the network and drives their timers,
+- :mod:`repro.sim.partitions` — the three partial-connectivity scenarios of
+  paper section 2 (quorum-loss, constrained election, chained),
+- :mod:`repro.sim.workload` — the closed-loop client with a configurable
+  number of concurrent proposals (the paper's CP parameter),
+- :mod:`repro.sim.metrics` — decided-throughput windows, down-time, and
+  per-server IO accounting.
+"""
+
+from repro.sim.events import EventQueue
+from repro.sim.network import SimNetwork, NetworkParams
+from repro.sim.cluster import SimCluster
+from repro.sim.workload import ClosedLoopClient, WorkloadParams
+from repro.sim.metrics import DecidedTracker, IOTracker
+from repro.sim.harness import (
+    PROTOCOLS,
+    Experiment,
+    ExperimentConfig,
+    build_experiment,
+    make_replica,
+    wan_latency_map,
+)
+from repro.sim.scenarios import SCENARIOS, ScenarioResult, run_partition_scenario
+from repro.sim.reconfig_experiment import (
+    ReconfigResult,
+    run_reconfiguration_experiment,
+)
+from repro.sim import partitions
+
+__all__ = [
+    "EventQueue",
+    "SimNetwork",
+    "NetworkParams",
+    "SimCluster",
+    "ClosedLoopClient",
+    "WorkloadParams",
+    "DecidedTracker",
+    "IOTracker",
+    "PROTOCOLS",
+    "Experiment",
+    "ExperimentConfig",
+    "build_experiment",
+    "make_replica",
+    "wan_latency_map",
+    "SCENARIOS",
+    "ScenarioResult",
+    "run_partition_scenario",
+    "ReconfigResult",
+    "run_reconfiguration_experiment",
+    "partitions",
+]

@@ -1,0 +1,199 @@
+"""SimCluster: wires protocol replicas, the network, and observers.
+
+Any mapping of ``pid -> Replica`` can be driven — Omni-Paxos servers, Raft,
+Multi-Paxos, or VR — which is what makes all the comparative experiments of
+the paper runnable from one harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigError
+from repro.replica import Replica
+from repro.sim.events import EventQueue
+from repro.sim.network import SimNetwork
+
+DecidedObserver = Callable[[int, int, Any, float], None]
+
+
+class SimCluster:
+    """Drives a set of replicas over a simulated network."""
+
+    def __init__(
+        self,
+        replicas: Dict[int, Replica],
+        network: SimNetwork,
+        queue: EventQueue,
+        tick_ms: float = 10.0,
+    ):
+        if not replicas:
+            raise ConfigError("a cluster needs at least one replica")
+        if tick_ms <= 0:
+            raise ConfigError("tick_ms must be positive")
+        self._replicas = dict(replicas)
+        self._network = network
+        self._queue = queue
+        self._tick_ms = tick_ms
+        self._crashed: Set[int] = set()
+        self._started = False
+        self._decided_observers: List[DecidedObserver] = []
+        network.on_deliver(self._deliver)
+        network.on_session_restored(self._session_restored)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._queue.now
+
+    @property
+    def queue(self) -> EventQueue:
+        return self._queue
+
+    @property
+    def network(self) -> SimNetwork:
+        return self._network
+
+    @property
+    def pids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._replicas))
+
+    def replica(self, pid: int) -> Replica:
+        return self._replicas[pid]
+
+    def add_replica(self, pid: int, replica: Replica) -> None:
+        """Register a server that joins later (reconfiguration targets)."""
+        if pid in self._replicas:
+            raise ConfigError(f"pid {pid} already registered")
+        self._replicas[pid] = replica
+        if self._started:
+            replica.start(self._queue.now)
+            self._schedule_tick(pid)
+            self._flush(pid)
+
+    def is_crashed(self, pid: int) -> bool:
+        return pid in self._crashed
+
+    def leaders(self) -> List[int]:
+        """Every alive server currently claiming leadership.
+
+        Under partial connectivity more than one server may claim the lead
+        (e.g. the stale leader in the chained scenario) — callers decide
+        what to do with the set.
+        """
+        return [
+            pid
+            for pid, replica in sorted(self._replicas.items())
+            if pid not in self._crashed and replica.is_leader
+        ]
+
+    def on_decided(self, observer: DecidedObserver) -> None:
+        """Register ``observer(pid, global_idx, entry, now)`` for every
+        newly decided entry at every server."""
+        self._decided_observers.append(observer)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for pid, replica in sorted(self._replicas.items()):
+            replica.start(self._queue.now)
+        for pid in sorted(self._replicas):
+            self._flush(pid)
+            self._schedule_tick(pid)
+
+    def run_for(self, duration_ms: float) -> None:
+        self._queue.run_for(duration_ms)
+
+    def run_until(self, until_ms: float) -> None:
+        self._queue.run_until(until_ms)
+
+    # -- client-side API ------------------------------------------------------
+
+    def propose(self, pid: int, entry: Any) -> None:
+        """Propose ``entry`` at server ``pid`` (raises if it cannot)."""
+        replica = self._alive(pid)
+        replica.propose(entry, self._queue.now)
+        self._flush(pid)
+
+    def propose_batch(self, pid: int, entries: List[Any]) -> None:
+        replica = self._alive(pid)
+        replica.propose_batch(entries, self._queue.now)
+        self._flush(pid)
+
+    def reconfigure(self, pid: int, servers: Tuple[int, ...]) -> None:
+        """Propose a membership change at server ``pid`` (leader)."""
+        replica = self._alive(pid)
+        replica.propose_reconfiguration(tuple(servers), now_ms=self._queue.now)
+        self._flush(pid)
+
+    # -- failure injection ------------------------------------------------------
+
+    def crash(self, pid: int) -> None:
+        """Crash a server: it loses volatile state and goes silent."""
+        if pid not in self._replicas:
+            raise ConfigError(f"unknown pid {pid}")
+        self._crashed.add(pid)
+        self._replicas[pid].crash()
+
+    def recover(self, pid: int) -> None:
+        """Restart a crashed server from its persistent state."""
+        if pid not in self._crashed:
+            return
+        self._crashed.discard(pid)
+        self._replicas[pid].recover(self._queue.now)
+        self._flush(pid)
+
+    def set_link(self, a: int, b: int, up: bool) -> None:
+        self._network.set_link(a, b, up)
+
+    def heal_all_links(self) -> None:
+        self._network.heal_all()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _alive(self, pid: int) -> Replica:
+        if pid not in self._replicas:
+            raise ConfigError(f"unknown pid {pid}")
+        if pid in self._crashed:
+            raise ConfigError(f"server {pid} is crashed")
+        return self._replicas[pid]
+
+    def _schedule_tick(self, pid: int) -> None:
+        def tick() -> None:
+            if pid in self._replicas:
+                if pid not in self._crashed:
+                    self._replicas[pid].tick(self._queue.now)
+                    self._flush(pid)
+                self._queue.schedule_in(self._tick_ms, tick)
+
+        self._queue.schedule_in(self._tick_ms, tick)
+
+    def _deliver(self, src: int, dst: int, msg: Any) -> None:
+        if dst not in self._replicas or dst in self._crashed:
+            return
+        self._replicas[dst].on_message(src, msg, self._queue.now)
+        self._flush(dst)
+
+    def _session_restored(self, a: int, b: int) -> None:
+        now = self._queue.now
+        if a in self._replicas and a not in self._crashed:
+            self._replicas[a].on_session_drop(b, now)
+            self._flush(a)
+        if b in self._replicas and b not in self._crashed:
+            self._replicas[b].on_session_drop(a, now)
+            self._flush(b)
+
+    def _flush(self, pid: int) -> None:
+        replica = self._replicas[pid]
+        for dst, msg in replica.take_outbox():
+            self._network.send(pid, dst, msg)
+        decided = replica.take_decided()
+        if decided and self._decided_observers:
+            now = self._queue.now
+            for idx, entry in decided:
+                for observer in self._decided_observers:
+                    observer(pid, idx, entry, now)

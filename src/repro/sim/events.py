@@ -1,0 +1,71 @@
+"""Event queue and virtual clock for the discrete-event simulator.
+
+Events are ``(time, seq, callback)`` triples in a binary heap. The ``seq``
+tie-breaker makes execution order deterministic when events share a
+timestamp, which in turn makes every experiment reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class SimulationLimitError(ReproError):
+    """The simulation exceeded its configured event budget (runaway guard)."""
+
+
+class EventQueue:
+    """A deterministic discrete-event queue with a virtual millisecond clock."""
+
+    def __init__(self, max_events: Optional[int] = None):
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        self._max_events = max_events
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, at: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at virtual time ``at`` (clamped to now)."""
+        heapq.heappush(self._heap, (max(at, self._now), next(self._seq), callback))
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` milliseconds."""
+        self.schedule(self._now + delay, callback)
+
+    def run_until(self, until: float) -> None:
+        """Execute events with timestamp <= ``until``; advance the clock.
+
+        The clock lands exactly on ``until`` even if the queue drains early,
+        so repeated calls tile time contiguously.
+        """
+        while self._heap and self._heap[0][0] <= until:
+            when, _seq, callback = heapq.heappop(self._heap)
+            self._now = when
+            self._processed += 1
+            if self._max_events is not None and self._processed > self._max_events:
+                raise SimulationLimitError(
+                    f"exceeded event budget of {self._max_events}"
+                )
+            callback()
+        self._now = max(self._now, until)
+
+    def run_for(self, duration: float) -> None:
+        """Execute events for ``duration`` more virtual milliseconds."""
+        self.run_until(self._now + duration)

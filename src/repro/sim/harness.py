@@ -1,0 +1,235 @@
+"""Experiment harness: build comparable clusters of any protocol.
+
+Every experiment in the paper runs the same cluster/workload under a
+different protocol. This module is the single place that knows how to
+instantiate each protocol with equivalent parameters:
+
+- the *election timeout* maps to Omni-Paxos' BLE heartbeat period, Raft's
+  base election timeout, Multi-Paxos' failure-detector suspicion timeout,
+  and VR's view-change timeout,
+- all protocols get the same network, tick resolution and seeded leader.
+
+The supported protocol names are the evaluation's five configurations:
+``"omni"``, ``"raft"``, ``"raft_pvcq"``, ``"multipaxos"``, ``"vr"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.omni.reconfig import PARALLEL
+from repro.omni.server import ClusterConfig, OmniPaxosConfig, OmniPaxosServer
+from repro.baselines.multipaxos import MultiPaxosConfig, MultiPaxosReplica
+from repro.baselines.raft import RaftConfig, RaftReplica
+from repro.baselines.vr import VRConfig, VRReplica
+from repro.replica import Replica
+from repro.sim.cluster import SimCluster
+from repro.sim.events import EventQueue
+from repro.sim.metrics import DecidedTracker, IOTracker
+from repro.sim.network import NetworkParams, SimNetwork
+from repro.sim.workload import ClosedLoopClient, WorkloadParams
+from repro.util.rng import spawn_rng
+
+PROTOCOLS = ("omni", "raft", "raft_pvcq", "multipaxos", "vr")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by every comparative experiment."""
+
+    protocol: str = "omni"
+    num_servers: int = 5
+    election_timeout_ms: float = 100.0
+    one_way_ms: float = 0.1
+    #: Uniform random extra delay in [0, jitter_ms) per message; gives the
+    #: seeded repetitions of a benchmark non-degenerate variance.
+    jitter_ms: float = 0.0
+    #: Optional per-link one-way latency overrides: {(a, b): ms}.
+    latency_map: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    seed: int = 0
+    initial_leader: Optional[int] = None
+    #: None -> derived from the election timeout.
+    tick_ms: Optional[float] = None
+    #: Finite sender NIC bandwidth (bytes/ms); None = infinite.
+    egress_bytes_per_ms: Optional[float] = None
+    io_window_ms: float = 5000.0
+    #: Omni-only: "parallel" or "leader" log migration.
+    migration_strategy: str = PARALLEL
+    migration_chunk_entries: int = 10_000
+    #: Cap on entries per bulk replication message (Raft AppendEntries /
+    #: Multi-Paxos P2a). None derives it so one message's transmission time
+    #: stays well under the election timeout when egress is finite, like
+    #: real systems' max-message-size settings.
+    max_batch_entries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigError(
+                f"unknown protocol {self.protocol!r}; pick one of {PROTOCOLS}"
+            )
+        if self.num_servers < 1:
+            raise ConfigError("num_servers must be >= 1")
+        if self.election_timeout_ms <= 0:
+            raise ConfigError("election_timeout_ms must be positive")
+
+    @property
+    def servers(self) -> Tuple[int, ...]:
+        return tuple(range(1, self.num_servers + 1))
+
+    @property
+    def effective_tick_ms(self) -> float:
+        if self.tick_ms is not None:
+            return self.tick_ms
+        return min(max(self.election_timeout_ms / 10.0, 1.0), 50.0)
+
+    @property
+    def effective_max_batch(self) -> int:
+        if self.max_batch_entries is not None:
+            return self.max_batch_entries
+        return derive_max_batch(self.egress_bytes_per_ms,
+                                self.election_timeout_ms)
+
+
+def derive_max_batch(egress_bytes_per_ms: Optional[float],
+                     election_timeout_ms: float) -> int:
+    """Entries per bulk message such that one message transmits in ~5% of an
+    election timeout (24 wire bytes per 8-byte no-op entry) — the analogue
+    of real systems' max-message-size settings, which keep heartbeats from
+    starving behind bulk catch-up traffic."""
+    if egress_bytes_per_ms is None:
+        return 4096
+    batch = int(egress_bytes_per_ms * 0.05 * election_timeout_ms / 24)
+    return max(min(batch, 4096), 16)
+
+
+@dataclass
+class Experiment:
+    """A built cluster plus its instruments."""
+
+    config: ExperimentConfig
+    cluster: SimCluster
+    queue: EventQueue
+    network: SimNetwork
+    io: IOTracker
+
+    def make_client(self, concurrent_proposals: int,
+                    proposal_timeout_ms: Optional[float] = None,
+                    client_id: int = 1) -> ClosedLoopClient:
+        """Attach a closed-loop client (the paper's CP workload)."""
+        if proposal_timeout_ms is None:
+            # Long enough that a single leader round trip never expires it,
+            # short enough to re-route within an election timeout or two.
+            proposal_timeout_ms = max(
+                2.0 * self.config.election_timeout_ms,
+                8.0 * self.config.one_way_ms + 4.0 * self.config.effective_tick_ms,
+            )
+        params = WorkloadParams(
+            client_id=client_id,
+            concurrent_proposals=concurrent_proposals,
+            client_tick_ms=self.config.effective_tick_ms,
+            proposal_timeout_ms=proposal_timeout_ms,
+        )
+        client = ClosedLoopClient(self.cluster, params)
+        client.start()
+        return client
+
+
+def make_replica(cfg: ExperimentConfig, pid: int,
+                 servers: Optional[Tuple[int, ...]] = None) -> Replica:
+    """Instantiate one replica of the configured protocol.
+
+    ``servers`` overrides the member set (used to pre-create the joining
+    servers of a reconfiguration experiment, possibly with an empty set for
+    Raft joiners that learn membership from the log).
+    """
+    members = servers if servers is not None else cfg.servers
+    if cfg.protocol == "omni":
+        return OmniPaxosServer(OmniPaxosConfig(
+            pid=pid,
+            cluster=ClusterConfig(config_id=0, servers=members),
+            hb_period_ms=cfg.election_timeout_ms,
+            initial_leader=cfg.initial_leader,
+            migration_strategy=cfg.migration_strategy,
+            migration_chunk_entries=cfg.migration_chunk_entries,
+            migration_retry_ms=max(2 * cfg.election_timeout_ms, 100.0),
+            announce_period_ms=max(cfg.election_timeout_ms, 50.0),
+        ))
+    if cfg.protocol in ("raft", "raft_pvcq"):
+        in_config = pid in members
+        return RaftReplica(RaftConfig(
+            pid=pid,
+            voters=members if in_config else (),
+            election_timeout_ms=cfg.election_timeout_ms,
+            prevote=cfg.protocol == "raft_pvcq",
+            check_quorum=cfg.protocol == "raft_pvcq",
+            max_entries_per_msg=cfg.effective_max_batch,
+            seed=cfg.seed,
+            initial_leader=cfg.initial_leader if in_config else None,
+        ))
+    if cfg.protocol == "multipaxos":
+        return MultiPaxosReplica(MultiPaxosConfig(
+            pid=pid,
+            peers=tuple(p for p in members if p != pid),
+            election_timeout_ms=cfg.election_timeout_ms,
+            max_slots_per_msg=cfg.effective_max_batch,
+            seed=cfg.seed,
+            initial_leader=cfg.initial_leader,
+        ))
+    if cfg.protocol == "vr":
+        return VRReplica(VRConfig(
+            pid=pid,
+            servers=members,
+            election_timeout_ms=cfg.election_timeout_ms,
+            initial_leader=cfg.initial_leader,
+        ))
+    raise ConfigError(f"unknown protocol {cfg.protocol!r}")
+
+
+def build_experiment(cfg: ExperimentConfig) -> Experiment:
+    """Build a ready-to-run cluster of the configured protocol."""
+    queue = EventQueue()
+    io = IOTracker(window_ms=cfg.io_window_ms)
+    params = NetworkParams(
+        one_way_ms=cfg.one_way_ms,
+        jitter_ms=cfg.jitter_ms,
+        egress_bytes_per_ms=cfg.egress_bytes_per_ms,
+    )
+    network = SimNetwork(
+        queue, params, rng=spawn_rng(cfg.seed, "net"), io_tracker=io
+    )
+    for (a, b), ms in cfg.latency_map.items():
+        network.set_latency(a, b, ms)
+    replicas = {pid: make_replica(cfg, pid) for pid in cfg.servers}
+    cluster = SimCluster(replicas, network, queue,
+                         tick_ms=cfg.effective_tick_ms)
+    cluster.start()
+    return Experiment(config=cfg, cluster=cluster, queue=queue,
+                      network=network, io=io)
+
+
+def wan_latency_map(servers: Tuple[int, ...],
+                    leader: int) -> Dict[Tuple[int, int], float]:
+    """The paper's WAN setting: RTT 105 ms and 145 ms from the leader to the
+    follower groups (eu-west1 / asia-northeast1), RTT 0.2 ms within a zone.
+
+    Followers alternate between the two remote zones; inter-zone follower
+    links get the sum of their zone distances as an approximation.
+    """
+    zones: Dict[int, int] = {}
+    remote = [p for p in servers if p != leader]
+    for i, pid in enumerate(remote):
+        zones[pid] = i % 2  # 0 = eu-west1, 1 = asia-northeast1
+    one_way = {0: 52.5, 1: 72.5}
+    latency: Dict[Tuple[int, int], float] = {}
+    for i, a in enumerate(servers):
+        for b in servers[i + 1:]:
+            if leader in (a, b):
+                other = b if a == leader else a
+                latency[(a, b)] = one_way[zones[other]]
+            elif zones[a] == zones[b]:
+                latency[(a, b)] = 0.1
+            else:
+                latency[(a, b)] = one_way[0] + one_way[1]
+    return latency

@@ -1,0 +1,196 @@
+"""The simulated network: latency, loss, and link-level partial partitions.
+
+Links are modelled after the paper's testbed assumptions (section 3):
+bidirectional, session-based FIFO perfect links (TCP). Partial partitions
+take a set of links down; messages over a down link are dropped
+systematically, and when the link comes back up both endpoints observe a
+*session drop* (the PrepareReq path of paper section 4.1.3).
+
+FIFO is preserved per ordered ``(src, dst)`` pair even with latency jitter
+by never scheduling a delivery earlier than the previously scheduled one —
+exactly how a TCP stream behaves under reordering at the packet level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.events import EventQueue
+from repro.sim.metrics import IOTracker, wire_size
+
+
+def _link(a: int, b: int) -> FrozenSet[int]:
+    return frozenset((a, b))
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Default link characteristics.
+
+    ``one_way_ms`` is half the RTT (paper LAN: RTT 0.2 ms -> 0.1 ms one-way).
+    ``jitter_ms`` adds uniform random delay in ``[0, jitter_ms)``.
+    ``loss_rate`` drops messages independently at random (0 disables).
+    """
+
+    one_way_ms: float = 0.1
+    jitter_ms: float = 0.0
+    loss_rate: float = 0.0
+    #: Per-server egress capacity in bytes per millisecond (None = infinite).
+    #: Finite egress serializes large transfers at the sender NIC — this is
+    #: what makes leader-only log migration a bottleneck (paper section 7.3).
+    egress_bytes_per_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.one_way_ms < 0 or self.jitter_ms < 0:
+            raise ConfigError("latency must be non-negative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigError("loss_rate must be in [0, 1)")
+        if self.egress_bytes_per_ms is not None and self.egress_bytes_per_ms <= 0:
+            raise ConfigError("egress_bytes_per_ms must be positive")
+
+
+class SimNetwork:
+    """Delivers messages between servers subject to the link model."""
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        params: NetworkParams = NetworkParams(),
+        rng=None,
+        io_tracker: Optional[IOTracker] = None,
+    ):
+        self._queue = queue
+        self._params = params
+        self._rng = rng
+        self._io = io_tracker
+        #: Directed links explicitly taken down (ordered (src, dst) pairs);
+        #: every other direction is up. Symmetric cuts add both directions;
+        #: half-duplex failures (paper section 8) add just one.
+        self._down: set = set()
+        #: Per-link latency overrides (symmetric).
+        self._latency: Dict[FrozenSet[int], float] = {}
+        #: FIFO enforcement: last scheduled delivery per ordered pair.
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+        #: Egress serialization: when each sender's NIC becomes free.
+        self._egress_free_at: Dict[int, float] = {}
+        #: Called with (src, dst, msg) on each successful delivery.
+        self._deliver: Optional[Callable[[int, int, Any], None]] = None
+        #: Called with (a, b) when a down link comes back up.
+        self._session_restored: Optional[Callable[[int, int], None]] = None
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def on_deliver(self, callback: Callable[[int, int, Any], None]) -> None:
+        self._deliver = callback
+
+    def on_session_restored(self, callback: Callable[[int, int], None]) -> None:
+        self._session_restored = callback
+
+    # -- topology control -----------------------------------------------------
+
+    def is_up(self, a: int, b: int) -> bool:
+        """Whether messages flow in the ``a -> b`` direction."""
+        return (a, b) not in self._down
+
+    def is_full_duplex(self, a: int, b: int) -> bool:
+        """Whether both directions between ``a`` and ``b`` are up."""
+        return self.is_up(a, b) and self.is_up(b, a)
+
+    def set_link(self, a: int, b: int, up: bool) -> None:
+        """Take the (symmetric) link between ``a`` and ``b`` down or up.
+
+        Restoring a previously down link triggers the session-restored
+        callback so replicas can run their link-session-drop handling.
+        """
+        if up:
+            was_down = (a, b) in self._down or (b, a) in self._down
+            self._down.discard((a, b))
+            self._down.discard((b, a))
+            if was_down and self._session_restored is not None:
+                self._session_restored(a, b)
+        else:
+            self._down.add((a, b))
+            self._down.add((b, a))
+
+    def set_link_directed(self, src: int, dst: int, up: bool) -> None:
+        """Half-duplex control: affect only the ``src -> dst`` direction.
+
+        Session-restored callbacks fire only when the link becomes fully
+        bidirectional again (a TCP session needs both directions).
+        """
+        if up:
+            was_down = (src, dst) in self._down
+            self._down.discard((src, dst))
+            if was_down and self.is_full_duplex(src, dst) \
+                    and self._session_restored is not None:
+                self._session_restored(src, dst)
+        else:
+            self._down.add((src, dst))
+
+    def down_links(self) -> Tuple[FrozenSet[int], ...]:
+        """Links with at least one direction down (as unordered pairs)."""
+        return tuple({_link(a, b) for (a, b) in self._down})
+
+    def heal_all(self) -> None:
+        """Bring every link back up (with session-restored callbacks)."""
+        for link in self.down_links():
+            a, b = tuple(link)
+            self.set_link(a, b, True)
+
+    def set_latency(self, a: int, b: int, one_way_ms: float) -> None:
+        """Override the one-way latency of one link (symmetric)."""
+        if one_way_ms < 0:
+            raise ConfigError("latency must be non-negative")
+        self._latency[_link(a, b)] = one_way_ms
+
+    def latency(self, a: int, b: int) -> float:
+        return self._latency.get(_link(a, b), self._params.one_way_ms)
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(self, src: int, dst: int, msg: Any) -> None:
+        """Send ``msg`` from ``src`` to ``dst`` under the link model.
+
+        Outgoing bytes are accounted at ``src`` even for dropped messages —
+        the sender pays the IO either way, as on the real testbed.
+        """
+        self.messages_sent += 1
+        nbytes = wire_size(msg)
+        if self._io is not None:
+            self._io.record(src, nbytes, self._queue.now)
+        if not self.is_up(src, dst):
+            self.messages_dropped += 1
+            return
+        if self._params.loss_rate > 0.0 and self._rng is not None \
+                and self._rng.random() < self._params.loss_rate:
+            self.messages_dropped += 1
+            return
+        send_done = self._queue.now
+        if self._params.egress_bytes_per_ms is not None:
+            # The sender NIC serializes outgoing bytes: transmission starts
+            # when the NIC is free and takes size/capacity milliseconds.
+            start = max(send_done, self._egress_free_at.get(src, 0.0))
+            send_done = start + nbytes / self._params.egress_bytes_per_ms
+            self._egress_free_at[src] = send_done
+        delay = send_done - self._queue.now + self.latency(src, dst)
+        if self._params.jitter_ms > 0.0 and self._rng is not None:
+            delay += self._rng.random() * self._params.jitter_ms
+        arrival = self._queue.now + delay
+        # FIFO per ordered pair: never deliver before an earlier send.
+        key = (src, dst)
+        arrival = max(arrival, self._last_delivery.get(key, 0.0))
+        self._last_delivery[key] = arrival
+        self._queue.schedule(arrival, lambda: self._try_deliver(src, dst, msg))
+
+    def _try_deliver(self, src: int, dst: int, msg: Any) -> None:
+        # A message in flight when the link was cut is lost (the TCP session
+        # breaks); check connectivity again at delivery time.
+        if not self.is_up(src, dst):
+            self.messages_dropped += 1
+            return
+        if self._deliver is not None:
+            self._deliver(src, dst, msg)

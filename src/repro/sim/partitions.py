@@ -1,0 +1,89 @@
+"""The partial-connectivity scenarios of paper section 2 (Figure 1).
+
+Each builder mutates the cluster's link matrix to create one of the three
+scenarios. Server-to-server links only — the measuring client reaches every
+server throughout, as on the paper's testbed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.cluster import SimCluster
+
+
+def _all_pairs(pids: Sequence[int]) -> Iterable[Tuple[int, int]]:
+    return itertools.combinations(sorted(pids), 2)
+
+
+def quorum_loss(cluster: SimCluster, pivot: int) -> None:
+    """Figure 1a: every server stays connected to ``pivot`` only.
+
+    The old leader remains connected to the pivot, so it stays *alive* but
+    loses quorum-connectivity — the scenario where "the alive status of the
+    current leader is an insufficient metric".
+    """
+    pids = cluster.pids
+    if pivot not in pids:
+        raise ConfigError(f"pivot {pivot} not in cluster")
+    for a, b in _all_pairs(pids):
+        if pivot not in (a, b):
+            cluster.set_link(a, b, False)
+
+
+def constrained_election(cluster: SimCluster, pivot: int, leader: int) -> None:
+    """Figure 1b: the leader is fully partitioned; everyone else only
+    reaches ``pivot``.
+
+    The pivot is the sole quorum-connected server. To match the paper's
+    setup, disconnect ``pivot`` from ``leader`` *earlier* (see
+    :func:`isolate_link`) so the pivot's log is outdated when this partition
+    hits — that staleness is what deadlocks Raft here.
+    """
+    pids = cluster.pids
+    if pivot not in pids or leader not in pids:
+        raise ConfigError("pivot and leader must be cluster members")
+    if pivot == leader:
+        raise ConfigError("pivot and leader must differ")
+    for a, b in _all_pairs(pids):
+        if leader in (a, b):
+            cluster.set_link(a, b, False)
+        elif pivot not in (a, b):
+            cluster.set_link(a, b, False)
+
+
+def isolate_link(cluster: SimCluster, a: int, b: int) -> None:
+    """Cut a single link (used to pre-stale the pivot's log)."""
+    cluster.set_link(a, b, False)
+
+
+def chained(cluster: SimCluster, order: Sequence[int]) -> None:
+    """Figure 1c: connect the servers in a chain ``order[0]-order[1]-...``.
+
+    With ``order = (A, B, C)`` only A-B and B-C remain up: exactly the
+    3-server chain where B (the middle) still reaches everyone while the
+    endpoints only reach B. The paper's experiment cuts the B-C link of a
+    3-server cluster with leader B, i.e. ``order = (leader, middle, other)``.
+    """
+    pids = cluster.pids
+    if sorted(order) != list(pids):
+        raise ConfigError("order must be a permutation of the cluster's pids")
+    allowed = {frozenset(pair) for pair in zip(order, order[1:])}
+    for a, b in _all_pairs(pids):
+        if frozenset((a, b)) not in allowed:
+            cluster.set_link(a, b, False)
+
+
+def full_partition(cluster: SimCluster, side_a: Sequence[int]) -> None:
+    """A conventional clean partition: ``side_a`` vs everyone else."""
+    side = set(side_a)
+    for a, b in _all_pairs(cluster.pids):
+        if (a in side) != (b in side):
+            cluster.set_link(a, b, False)
+
+
+def heal(cluster: SimCluster) -> None:
+    """Restore full connectivity (ends the partition window)."""
+    cluster.heal_all_links()

@@ -1,0 +1,134 @@
+"""Message tracing for debugging protocol runs.
+
+Attach a :class:`MessageTrace` to a :class:`~repro.sim.network.SimNetwork`
+and every sent message is recorded as a :class:`TraceEvent` in a bounded
+ring buffer. Filters select by server, message type, or time window, and
+:meth:`render` produces the compact timeline that makes protocol debugging
+bearable::
+
+    trace = MessageTrace.attach(exp.network, capacity=10_000)
+    ...run the experiment...
+    print(trace.render(between=(4_000, 4_200), types=("Prepare", "Promise")))
+
+Tracing wraps the network's send path non-invasively, so it can be attached
+to any already-built experiment.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Any, Deque, Iterable, List, Optional, Sequence, Tuple
+
+from repro.omni.messages import Envelope
+from repro.sim.network import SimNetwork
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One sent message."""
+
+    at_ms: float
+    src: int
+    dst: int
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"{self.at_ms:10.1f}ms  {self.src}->{self.dst}  "
+                f"{self.kind:<16s} {self.detail}")
+
+
+def _describe(msg: Any) -> Tuple[str, str]:
+    """(kind, one-line detail) for any protocol message."""
+    payload = msg.payload if isinstance(msg, Envelope) else msg
+    kind = type(payload).__name__
+    fields = []
+    for attr in ("n", "term", "ballot", "view", "round", "seq",
+                 "decided_idx", "log_idx", "sync_idx", "prev_idx",
+                 "leader_commit", "trimmed_idx", "config_id",
+                 "from_idx", "to_idx"):
+        value = getattr(payload, attr, None)
+        if value is not None:
+            fields.append(f"{attr}={value}")
+    entries = getattr(payload, "entries", None)
+    if entries is None:
+        entries = getattr(payload, "suffix", None)
+    if entries is not None:
+        fields.append(f"|entries|={len(entries)}")
+    return kind, " ".join(fields)
+
+
+class MessageTrace:
+    """A bounded ring buffer of sent messages."""
+
+    def __init__(self, capacity: int = 10_000):
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._enabled = True
+
+    # -- attachment ----------------------------------------------------------
+
+    @classmethod
+    def attach(cls, network: SimNetwork, capacity: int = 10_000) -> "MessageTrace":
+        """Wrap ``network.send`` so every message is recorded."""
+        trace = cls(capacity=capacity)
+        original = network.send
+
+        def traced_send(src: int, dst: int, msg: Any) -> None:
+            trace.record(network._queue.now, src, dst, msg)
+            original(src, dst, msg)
+
+        network.send = traced_send  # type: ignore[method-assign]
+        return trace
+
+    def record(self, at_ms: float, src: int, dst: int, msg: Any) -> None:
+        if not self._enabled:
+            return
+        kind, detail = _describe(msg)
+        self._events.append(TraceEvent(at_ms, src, dst, kind, detail))
+
+    def pause(self) -> None:
+        self._enabled = False
+
+    def resume(self) -> None:
+        self._enabled = True
+
+    # -- querying --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(
+        self,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        involving: Optional[int] = None,
+        types: Optional[Sequence[str]] = None,
+        between: Optional[Tuple[float, float]] = None,
+    ) -> List[TraceEvent]:
+        """Filtered view of the recorded events, oldest first."""
+        out = []
+        for event in self._events:
+            if src is not None and event.src != src:
+                continue
+            if dst is not None and event.dst != dst:
+                continue
+            if involving is not None and involving not in (event.src, event.dst):
+                continue
+            if types is not None and event.kind not in types:
+                continue
+            if between is not None and not (between[0] <= event.at_ms < between[1]):
+                continue
+            out.append(event)
+        return out
+
+    def counts_by_type(self) -> Counter:
+        """Message volume per type — a quick profile of a run."""
+        return Counter(event.kind for event in self._events)
+
+    def render(self, limit: int = 100, **filters) -> str:
+        """A printable timeline of the (filtered) last ``limit`` events."""
+        selected = self.events(**filters)[-limit:]
+        if not selected:
+            return "(no matching events)"
+        return "\n".join(str(event) for event in selected)

@@ -1,0 +1,205 @@
+"""The paper's closed-loop client workload.
+
+The evaluation measures throughput with a client that keeps a fixed number
+of *concurrent proposals* (CP) in flight: every decided reply immediately
+frees a slot for the next proposal. Commands are 8-byte no-ops. This module
+reproduces that client:
+
+- it proposes to the server it currently believes is the leader,
+- a decided reply is recorded the first time any server reports the command
+  decided (normally the leader, which is who answers clients),
+- proposals that time out are re-proposed — possibly at another server that
+  claims leadership — and deduplicated by sequence number so each command
+  counts once.
+
+The last point matters under partial connectivity: in the chained scenario a
+*stale* leader keeps accepting proposals it can never commit; the client's
+timeouts and re-routing are exactly why that shows up as lost throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.errors import ConfigError, ReproError
+from repro.omni.entry import Command
+from repro.sim.cluster import SimCluster
+from repro.sim.metrics import DecidedTracker
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Client behaviour knobs (defaults follow the paper's setup)."""
+
+    client_id: int = 1
+    #: The paper's CP parameter: proposals kept in flight.
+    concurrent_proposals: int = 64
+    entry_bytes: int = 8
+    #: How often the client tops up free slots and checks timeouts.
+    client_tick_ms: float = 5.0
+    #: Re-propose (and consider switching leader) after this long.
+    proposal_timeout_ms: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.concurrent_proposals <= 0:
+            raise ConfigError("concurrent_proposals must be positive")
+        if self.client_tick_ms <= 0 or self.proposal_timeout_ms <= 0:
+            raise ConfigError("client timing parameters must be positive")
+
+
+class ClosedLoopClient:
+    """Closed-loop proposer driving a :class:`SimCluster`."""
+
+    def __init__(self, cluster: SimCluster, params: WorkloadParams,
+                 tracker: Optional[DecidedTracker] = None):
+        self._cluster = cluster
+        self._params = params
+        self.tracker = tracker if tracker is not None else DecidedTracker()
+        self._payload = bytes(params.entry_bytes)
+        self._next_seq = 0
+        #: In-flight proposals: seq -> send time.
+        self._outstanding: Dict[int, float] = {}
+        #: First-submission time per seq (latency is measured from here
+        #: even across re-proposals — the user-perceived latency).
+        self._first_sent: Dict[int, float] = {}
+        #: Decided latencies in ms, in completion order.
+        self.latencies_ms: list = []
+        #: Sequence numbers already counted as decided.
+        self._seen: Set[int] = set()
+        self._preferred: Optional[int] = None
+        self._running = False
+        self.proposals_sent = 0
+        self.reproposals = 0
+        self.leader_switches = 0
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Register with the cluster and begin proposing."""
+        if self._running:
+            return
+        self._running = True
+        self._cluster.on_decided(self._on_decided)
+        self._schedule_tick()
+
+    def stop(self) -> None:
+        """Stop proposing (already-in-flight commands may still decide)."""
+        self._running = False
+
+    @property
+    def decided_count(self) -> int:
+        return len(self._seen)
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 user-perceived latency in ms (first submission to
+        first decided observation)."""
+        from repro.util.stats import percentile
+
+        if not self.latencies_ms:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "p50": percentile(self.latencies_ms, 50),
+            "p95": percentile(self.latencies_ms, 95),
+            "p99": percentile(self.latencies_ms, 99),
+        }
+
+    # ------------------------------------------------------------------
+
+    def _on_decided(self, pid: int, idx: int, entry, now: float) -> None:
+        if not isinstance(entry, Command) or entry.client_id != self._params.client_id:
+            return
+        if entry.seq in self._seen:
+            return
+        self._seen.add(entry.seq)
+        self._outstanding.pop(entry.seq, None)
+        first = self._first_sent.pop(entry.seq, None)
+        if first is not None:
+            self.latencies_ms.append(now - first)
+        self.tracker.record(now)
+
+    def _schedule_tick(self) -> None:
+        self._cluster.queue.schedule_in(self._params.client_tick_ms, self._tick)
+
+    def _pick_target(self) -> Optional[int]:
+        """The server to propose at: sticky leader, rotated on trouble."""
+        claimants = self._cluster.leaders()
+        if not claimants:
+            return None
+        if self._preferred in claimants:
+            return self._preferred
+        if self._preferred is not None:
+            self.leader_switches += 1
+        self._preferred = claimants[0]
+        return self._preferred
+
+    def _rotate_target(self) -> None:
+        """Our current target seems dead or stale: try the next claimant."""
+        claimants = self._cluster.leaders()
+        if not claimants:
+            self._preferred = None
+            return
+        if self._preferred in claimants and len(claimants) > 1:
+            idx = claimants.index(self._preferred)
+            self._preferred = claimants[(idx + 1) % len(claimants)]
+        else:
+            self._preferred = claimants[0]
+        self.leader_switches += 1
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self._cluster.now
+        self._handle_timeouts(now)
+        self._top_up(now)
+        self._schedule_tick()
+
+    def _handle_timeouts(self, now: float) -> None:
+        timeout = self._params.proposal_timeout_ms
+        expired = [
+            seq for seq, sent in self._outstanding.items()
+            if now - sent >= timeout
+        ]
+        if not expired:
+            return
+        self._rotate_target()
+        target = self._pick_target()
+        if target is None:
+            # Nobody claims leadership: leave them outstanding; they will be
+            # retried once a leader appears.
+            for seq in expired:
+                self._outstanding[seq] = now
+            return
+        batch = [self._command(seq) for seq in sorted(expired)]
+        for seq in expired:
+            self._outstanding[seq] = now
+        self.reproposals += len(batch)
+        self._try_propose(target, batch)
+
+    def _top_up(self, now: float) -> None:
+        free = self._params.concurrent_proposals - len(self._outstanding)
+        if free <= 0:
+            return
+        target = self._pick_target()
+        if target is None:
+            return
+        batch = []
+        for _ in range(free):
+            seq = self._next_seq
+            self._next_seq += 1
+            self._outstanding[seq] = now
+            self._first_sent[seq] = now
+            batch.append(self._command(seq))
+        self.proposals_sent += len(batch)
+        self._try_propose(target, batch)
+
+    def _command(self, seq: int) -> Command:
+        return Command(data=self._payload, client_id=self._params.client_id, seq=seq)
+
+    def _try_propose(self, target: int, batch) -> None:
+        try:
+            self._cluster.propose_batch(target, batch)
+        except ReproError:
+            # The target crashed, retired, or rejected: rotate next tick and
+            # let the timeout machinery re-propose.
+            self._rotate_target()

@@ -1,0 +1,12 @@
+"""Command-line experiment runners.
+
+Usage::
+
+    python -m repro.tools.scenario --protocol omni --scenario chained
+    python -m repro.tools.reconfig --protocol raft --replace majority
+    python -m repro.tools.throughput --protocol multipaxos --cp 128 --wan
+
+Each tool builds the same experiments as the benchmark suite and prints a
+human-readable report; they are the quickest way to poke at a single
+configuration without going through pytest.
+"""

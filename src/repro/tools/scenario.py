@@ -1,0 +1,70 @@
+"""CLI: run one partial-connectivity scenario (paper section 7.2).
+
+Example::
+
+    python -m repro.tools.scenario --protocol raft --scenario chained \
+        --timeout-ms 100 --duration-ms 10000 --seeds 1 2 3
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.sim.harness import PROTOCOLS
+from repro.sim.scenarios import SCENARIOS, run_partition_scenario
+from repro.util.stats import mean_ci
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Run a partial-connectivity scenario experiment."
+    )
+    parser.add_argument("--protocol", choices=PROTOCOLS, default="omni")
+    parser.add_argument("--scenario", choices=SCENARIOS, default="quorum_loss")
+    parser.add_argument("--timeout-ms", type=float, default=100.0,
+                        help="election timeout / heartbeat period")
+    parser.add_argument("--duration-ms", type=float, default=None,
+                        help="partition duration (default: 40 timeouts)")
+    parser.add_argument("--cp", type=int, default=8,
+                        help="concurrent proposals kept in flight")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    downtimes = []
+    deadlocks = 0
+    decided = []
+    for seed in args.seeds:
+        result = run_partition_scenario(
+            args.protocol,
+            args.scenario,
+            election_timeout_ms=args.timeout_ms,
+            partition_duration_ms=args.duration_ms,
+            concurrent_proposals=args.cp,
+            seed=seed,
+        )
+        decided.append(result.decided_during_partition)
+        if result.recovered:
+            downtimes.append(result.downtime_ms)
+        else:
+            deadlocks += 1
+        state = "recovered" if result.recovered else "UNAVAILABLE"
+        print(f"seed {seed}: {state}  downtime={result.downtime_ms:8.0f} ms "
+              f"decided={result.decided_during_partition}")
+    print()
+    print(f"protocol={args.protocol} scenario={args.scenario} "
+          f"timeout={args.timeout_ms:.0f} ms")
+    if deadlocks == len(args.seeds):
+        print("verdict : UNAVAILABLE for the whole partition (every seed)")
+    else:
+        ci = mean_ci(downtimes)
+        print(f"downtime: {ci} ms "
+              f"({ci.mean / args.timeout_ms:.1f} election timeouts)")
+    print(f"decided : {mean_ci([float(d) for d in decided])}")
+    return 0 if deadlocks in (0, len(args.seeds)) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""CLI: measure steady-state throughput (paper section 7.1).
+
+Example::
+
+    python -m repro.tools.throughput --protocol omni --servers 5 --cp 128 --wan
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.sim.harness import (
+    PROTOCOLS,
+    ExperimentConfig,
+    build_experiment,
+    wan_latency_map,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Measure regular-execution throughput (Figure 7)."
+    )
+    parser.add_argument("--protocol", choices=PROTOCOLS, default="omni")
+    parser.add_argument("--servers", type=int, default=3)
+    parser.add_argument("--cp", type=int, default=128,
+                        help="concurrent proposals kept in flight")
+    parser.add_argument("--wan", action="store_true",
+                        help="use the paper's WAN latencies (RTT 105/145 ms)")
+    parser.add_argument("--duration-ms", type=float, default=10_000.0)
+    parser.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    servers = tuple(range(1, args.servers + 1))
+    leader = args.servers
+    cfg = ExperimentConfig(
+        protocol=args.protocol,
+        num_servers=args.servers,
+        election_timeout_ms=500.0 if args.wan else 100.0,
+        latency_map=wan_latency_map(servers, leader) if args.wan else {},
+        seed=args.seed,
+        initial_leader=leader,
+    )
+    exp = build_experiment(cfg)
+    client = exp.make_client(concurrent_proposals=args.cp)
+    warmup = 3_000.0 if args.wan else 1_000.0
+    exp.cluster.run_for(warmup)
+    start = exp.cluster.now
+    exp.cluster.run_for(args.duration_ms)
+    throughput = client.tracker.throughput(start, exp.cluster.now)
+    setting = "wan" if args.wan else "lan"
+    print(f"protocol={args.protocol} n={args.servers} cp={args.cp} "
+          f"net={setting}")
+    print(f"throughput: {throughput:12.0f} decided/s "
+          f"(virtual time; shapes comparable, absolutes simulator-scale)")
+    print(f"decided   : {client.decided_count}")
+    print(f"leader    : server {exp.cluster.leaders()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

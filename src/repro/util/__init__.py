@@ -1,0 +1,13 @@
+"""Small shared utilities: deterministic RNG, statistics, id helpers."""
+
+from repro.util.stats import ConfidenceInterval, mean_ci, percentile, summarize
+from repro.util.rng import make_rng, spawn_rng
+
+__all__ = [
+    "ConfidenceInterval",
+    "mean_ci",
+    "percentile",
+    "summarize",
+    "make_rng",
+    "spawn_rng",
+]

@@ -1,0 +1,114 @@
+"""Statistics helpers used by the benchmark harnesses.
+
+The paper reports means with 95% confidence intervals computed with the
+t-distribution over 10 repetitions. :func:`mean_ci` reproduces exactly that
+methodology for an arbitrary sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+try:  # scipy is available in the target environment but keep a fallback
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_stats = None
+
+
+# Two-sided 97.5% t quantiles for small degrees of freedom, used when scipy
+# is unavailable. Index = degrees of freedom.
+_T_975 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
+    14: 2.145, 15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042, 40: 2.021,
+    60: 2.000, 120: 1.980,
+}
+
+
+def _t_quantile(df: int, confidence: float) -> float:
+    """Two-sided t quantile for ``df`` degrees of freedom."""
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df))
+    if confidence != 0.95:
+        raise ValueError("fallback table only supports 95% confidence")
+    if df in _T_975:
+        return _T_975[df]
+    keys = sorted(_T_975)
+    for key in keys:
+        if df < key:
+            return _T_975[key]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A sample mean with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+    confidence: float = 0.95
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.half_width:.2f} (n={self.n})"
+
+
+def mean_ci(samples: Sequence[float], confidence: float = 0.95) -> ConfidenceInterval:
+    """Mean and t-distribution confidence interval of ``samples``.
+
+    A single sample yields a zero-width interval rather than an error so
+    smoke-test benchmark runs with one repetition still produce output.
+    """
+    values = list(samples)
+    if not values:
+        raise ValueError("mean_ci requires at least one sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return ConfidenceInterval(mean=mean, half_width=0.0, n=1, confidence=confidence)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    sem = math.sqrt(variance / n)
+    half = _t_quantile(n - 1, confidence) * sem
+    return ConfidenceInterval(mean=mean, half_width=half, n=n, confidence=confidence)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    values = sorted(samples)
+    if not values:
+        raise ValueError("percentile requires at least one sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    if len(values) == 1:
+        return values[0]
+    rank = (q / 100.0) * (len(values) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return values[lower]
+    frac = rank - lower
+    return values[lower] * (1.0 - frac) + values[upper] * frac
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Convenience bundle of common summary statistics."""
+    ci = mean_ci(samples)
+    return {
+        "mean": ci.mean,
+        "ci95": ci.half_width,
+        "min": min(samples),
+        "max": max(samples),
+        "p50": percentile(samples, 50),
+        "p99": percentile(samples, 99),
+        "n": float(len(samples)),
+    }

@@ -1,0 +1,99 @@
+"""Shared test fixtures and helpers.
+
+Most tests drive protocol objects directly (sans-io) or through small
+simulated clusters; these helpers remove the boilerplate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.omni.server import ClusterConfig, OmniPaxosConfig, OmniPaxosServer
+from repro.sim.cluster import SimCluster
+from repro.sim.events import EventQueue
+from repro.sim.metrics import IOTracker
+from repro.sim.network import NetworkParams, SimNetwork
+
+
+def build_omni_cluster(
+    n: int = 3,
+    hb_period_ms: float = 50.0,
+    initial_leader: Optional[int] = None,
+    one_way_ms: float = 0.1,
+    tick_ms: float = 5.0,
+    storage_factory=None,
+    migration_strategy: str = "parallel",
+    joiners: Tuple[int, ...] = (),
+    egress_bytes_per_ms: Optional[float] = None,
+):
+    """A ready-started simulated Omni-Paxos cluster.
+
+    Returns ``(cluster, servers_dict)``; ``joiners`` are extra pids
+    registered on the network but not part of the initial configuration.
+    """
+    cluster_cfg = ClusterConfig(config_id=0, servers=tuple(range(1, n + 1)))
+    queue = EventQueue()
+    network = SimNetwork(
+        queue,
+        NetworkParams(one_way_ms=one_way_ms,
+                      egress_bytes_per_ms=egress_bytes_per_ms),
+        io_tracker=IOTracker(),
+    )
+    servers: Dict[int, OmniPaxosServer] = {}
+    for pid in cluster_cfg.servers + tuple(joiners):
+        kwargs = {}
+        if storage_factory is not None:
+            kwargs["storage_factory"] = storage_factory
+        servers[pid] = OmniPaxosServer(OmniPaxosConfig(
+            pid=pid,
+            cluster=cluster_cfg,
+            hb_period_ms=hb_period_ms,
+            initial_leader=initial_leader,
+            migration_strategy=migration_strategy,
+            migration_retry_ms=4 * hb_period_ms,
+            announce_period_ms=hb_period_ms,
+            **kwargs,
+        ))
+    sim = SimCluster(servers, network, queue, tick_ms=tick_ms)
+    sim.start()
+    return sim, servers
+
+
+def run_until_leader(sim: SimCluster, max_ms: float = 5_000.0,
+                     step_ms: float = 50.0) -> int:
+    """Advance the cluster until exactly one leader exists; return its pid."""
+    elapsed = 0.0
+    while elapsed < max_ms:
+        sim.run_for(step_ms)
+        elapsed += step_ms
+        leaders = sim.leaders()
+        if leaders:
+            return leaders[0]
+    raise AssertionError("no leader elected in time")
+
+
+def decided_logs_agree(servers) -> bool:
+    """SC2 check: all servers' decided logs are prefix-ordered."""
+    logs = sorted((srv.read_log() for srv in servers.values()), key=len)
+    for shorter, longer in zip(logs, logs[1:]):
+        if longer[:len(shorter)] != shorter:
+            return False
+    return True
+
+
+@pytest.fixture
+def omni3():
+    """A 3-server Omni-Paxos cluster with an established leader."""
+    sim, servers = build_omni_cluster(3)
+    leader = run_until_leader(sim)
+    return sim, servers, leader
+
+
+@pytest.fixture
+def omni5():
+    """A 5-server Omni-Paxos cluster with an established leader."""
+    sim, servers = build_omni_cluster(5)
+    leader = run_until_leader(sim)
+    return sim, servers, leader

@@ -1,0 +1,72 @@
+"""Unit tests for Ballot: total order, bumping, uniqueness (LE3)."""
+
+import pytest
+
+from repro.omni.ballot import BOTTOM, Ballot, QCBallot
+
+
+class TestOrdering:
+    def test_round_number_dominates(self):
+        assert Ballot(2, 0, 1) > Ballot(1, 9, 9)
+
+    def test_priority_breaks_round_ties(self):
+        assert Ballot(1, 2, 1) > Ballot(1, 1, 9)
+
+    def test_pid_breaks_full_ties(self):
+        assert Ballot(1, 1, 2) > Ballot(1, 1, 1)
+
+    def test_equality_requires_all_fields(self):
+        assert Ballot(1, 2, 3) == Ballot(1, 2, 3)
+        assert Ballot(1, 2, 3) != Ballot(1, 2, 4)
+
+    def test_bottom_is_minimal_for_real_servers(self):
+        for n in (0, 1, 5):
+            for pid in (1, 2, 100):
+                assert Ballot(n, 0, pid) > BOTTOM
+
+    def test_sorting_is_total(self):
+        ballots = [Ballot(2, 0, 1), Ballot(1, 0, 2), Ballot(1, 1, 1), BOTTOM]
+        ordered = sorted(ballots)
+        assert ordered == [BOTTOM, Ballot(1, 0, 2), Ballot(1, 1, 1), Ballot(2, 0, 1)]
+
+    def test_hashable_and_frozen(self):
+        b = Ballot(1, 0, 1)
+        assert hash(b) == hash(Ballot(1, 0, 1))
+        with pytest.raises(AttributeError):
+            b.n = 5  # type: ignore[misc]
+
+
+class TestBump:
+    def test_bump_outranks_target(self):
+        mine = Ballot(3, 0, 2)
+        other = Ballot(7, 5, 9)
+        assert mine.bump(other) > other
+
+    def test_bump_outranks_self(self):
+        mine = Ballot(7, 0, 2)
+        assert mine.bump(Ballot(3, 0, 9)) > mine
+
+    def test_bump_preserves_identity(self):
+        mine = Ballot(1, 4, 2)
+        bumped = mine.bump(Ballot(9, 0, 3))
+        assert bumped.pid == 2
+        assert bumped.priority == 4
+
+    def test_bump_monotone_under_repetition(self):
+        b = Ballot(0, 0, 1)
+        seen = set()
+        for _ in range(10):
+            b = b.bump(b)
+            assert b not in seen
+            seen.add(b)
+
+    def test_with_priority(self):
+        assert Ballot(2, 0, 1).with_priority(9) == Ballot(2, 9, 1)
+
+
+class TestQCBallot:
+    def test_defaults_quorum_connected(self):
+        assert QCBallot(Ballot(1, 0, 1)).quorum_connected is True
+
+    def test_str_is_informative(self):
+        assert "pid=3" in str(Ballot(1, 0, 3))

@@ -1,0 +1,302 @@
+"""Unit tests for Ballot Leader Election (paper section 5, Figure 4).
+
+These drive BLE instances directly by shuttling heartbeat messages between
+them, with full control over which links deliver.
+"""
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.omni.ballot import BOTTOM, Ballot
+from repro.omni.ble import BallotLeaderElection, BLEConfig
+from repro.omni.messages import HeartbeatReply, HeartbeatRequest
+
+HB = 100.0
+
+
+def make_ble(pid: int, n: int = 3, priority: int = 0,
+             initial_leader=None, use_qc_flag: bool = True):
+    peers = tuple(p for p in range(1, n + 1) if p != pid)
+    return BallotLeaderElection(
+        BLEConfig(pid=pid, peers=peers, hb_period_ms=HB,
+                  priority=priority, use_qc_flag=use_qc_flag),
+        initial_leader=initial_leader,
+    )
+
+
+class Net:
+    """Tiny BLE-only shuttle with a link matrix."""
+
+    def __init__(self, nodes: Dict[int, BallotLeaderElection]):
+        self.nodes = nodes
+        self.down: Set[frozenset] = set()
+        self.now = 0.0
+        for node in nodes.values():
+            node.start(self.now)
+        self.shuttle()
+
+    def cut(self, a: int, b: int) -> None:
+        self.down.add(frozenset((a, b)))
+
+    def up(self, a: int, b: int) -> None:
+        self.down.discard(frozenset((a, b)))
+
+    def shuttle(self, rounds: int = 6) -> None:
+        """Deliver messages until quiescent (within one heartbeat round)."""
+        for _ in range(rounds):
+            moved = False
+            for pid, node in self.nodes.items():
+                for dst, msg in node.take_outbox():
+                    if frozenset((pid, dst)) in self.down:
+                        continue
+                    self.nodes[dst].on_message(pid, msg)
+                    moved = True
+            if not moved:
+                return
+
+    def advance_round(self) -> None:
+        """Let every node finish the current heartbeat round."""
+        self.now += HB
+        for node in self.nodes.values():
+            node.tick(self.now)
+        self.shuttle()
+
+    def leaders(self) -> Dict[int, Optional[Ballot]]:
+        return {pid: node.leader for pid, node in self.nodes.items()}
+
+
+@pytest.fixture
+def net3():
+    return Net({pid: make_ble(pid, 3) for pid in (1, 2, 3)})
+
+
+@pytest.fixture
+def net5():
+    return Net({pid: make_ble(pid, 5) for pid in (1, 2, 3, 4, 5)})
+
+
+def make_net(n: int) -> Net:
+    return Net({pid: make_ble(pid, n) for pid in range(1, n + 1)})
+
+
+class TestConfig:
+    def test_rejects_zero_pid(self):
+        with pytest.raises(ConfigError):
+            BLEConfig(pid=0, peers=(1, 2))
+
+    def test_rejects_self_in_peers(self):
+        with pytest.raises(ConfigError):
+            BLEConfig(pid=1, peers=(1, 2))
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigError):
+            BLEConfig(pid=1, peers=(2,), hb_period_ms=0)
+
+    def test_majority(self):
+        assert BLEConfig(pid=1, peers=(2, 3)).majority == 2
+        assert BLEConfig(pid=1, peers=(2, 3, 4, 5)).majority == 3
+
+    def test_initial_ballot_must_match_pid(self):
+        with pytest.raises(ConfigError):
+            BallotLeaderElection(BLEConfig(pid=1, peers=(2,)),
+                                 initial_ballot=Ballot(1, 0, 2))
+
+
+class TestElection:
+    def test_elects_unique_leader_when_fully_connected(self, net3):
+        for _ in range(4):
+            net3.advance_round()
+        leaders = set(net3.leaders().values())
+        assert len(leaders) == 1
+        assert leaders.pop() is not None
+
+    def test_highest_pid_wins_initial_tie(self, net3):
+        for _ in range(4):
+            net3.advance_round()
+        assert net3.leaders()[1].pid == 3
+
+    def test_priority_beats_pid(self):
+        nodes = {
+            1: make_ble(1, 3, priority=10),
+            2: make_ble(2, 3),
+            3: make_ble(3, 3),
+        }
+        net = Net(nodes)
+        for _ in range(4):
+            net.advance_round()
+        assert net.leaders()[2].pid == 1
+
+    def test_leader_event_fires_once_per_election(self, net3):
+        for _ in range(5):
+            net3.advance_round()
+        events = net3.nodes[1].take_leader_events()
+        assert len(events) <= 1  # drained repeatedly they must not repeat
+
+    def test_seeded_leader_prevents_initial_election(self):
+        seed = Ballot(1, 0, 2)
+        nodes = {pid: make_ble(pid, 3, initial_leader=seed) for pid in (1, 2, 3)}
+        net = Net(nodes)
+        for _ in range(4):
+            net.advance_round()
+        assert all(b == seed for b in net.leaders().values())
+        assert nodes[2].stats.leader_changes == 0
+
+    def test_ballots_monotonically_increase(self, net3):
+        history = []
+        for _ in range(8):
+            net3.advance_round()
+            history.append(net3.nodes[1].current_ballot)
+        for prev, cur in zip(history, history[1:]):
+            assert cur >= prev
+
+
+class TestFailureDetection:
+    def test_dead_leader_replaced(self, net3):
+        for _ in range(4):
+            net3.advance_round()
+        dead = net3.leaders()[1].pid
+        net3.cut(dead, 1)
+        net3.cut(dead, 2)
+        net3.cut(dead, 3)
+        for _ in range(5):
+            net3.advance_round()
+        survivors = [p for p in (1, 2, 3) if p != dead]
+        new_leader = net3.nodes[survivors[0]].leader
+        assert new_leader is not None
+        assert new_leader.pid != dead
+
+    def test_non_qc_server_never_bumps(self):
+        net = make_net(5)
+        for _ in range(4):
+            net.advance_round()
+        # Fully isolate server 2 from everyone: it is not QC.
+        for other in (1, 3, 4, 5):
+            net.cut(2, other)
+        before = net.nodes[2].current_ballot
+        for _ in range(6):
+            net.advance_round()
+        # A server that cannot reach a majority never performs checkLeader,
+        # so it never churns its ballot (key to quorum-loss stability).
+        assert net.nodes[2].current_ballot == before
+        assert net.nodes[2].quorum_connected is False
+
+    def test_late_heartbeat_ignored(self):
+        node = make_ble(1, 3)
+        node.start(0.0)
+        node.take_outbox()
+        stale = HeartbeatReply(round=0, ballot=Ballot(9, 0, 2), quorum_connected=True)
+        node.on_message(2, stale)
+        node.tick(HB)
+        # The stale round-0 reply must not have been counted.
+        assert node.leader is None
+
+    def test_heartbeat_request_gets_reply(self):
+        node = make_ble(1, 3)
+        node.start(0.0)
+        node.take_outbox()
+        node.on_message(2, HeartbeatRequest(round=7))
+        out = node.take_outbox()
+        assert len(out) == 1
+        dst, reply = out[0]
+        assert dst == 2
+        assert isinstance(reply, HeartbeatReply)
+        assert reply.round == 7
+
+
+class TestQuorumConnectedFlag:
+    def test_quorum_loss_transfers_leadership(self):
+        """Figure 5a: leader keeps one link but loses its quorum; the pivot
+        takes over within a few rounds."""
+        seed = Ballot(1, 0, 3)
+        net = Net({pid: make_ble(pid, 5, initial_leader=seed)
+                   for pid in (1, 2, 3, 4, 5)})
+        # Quorum-loss around pivot 1: only links to 1 survive.
+        for a in (2, 3, 4, 5):
+            for b in (2, 3, 4, 5):
+                if a < b:
+                    net.cut(a, b)
+        for _ in range(6):
+            net.advance_round()
+        assert net.nodes[1].leader.pid == 1
+
+    def test_without_qc_flag_quorum_loss_deadlocks(self):
+        """Ablation: disable the flag and the pivot never learns the leader
+        is useless, so leadership never moves."""
+        seed = Ballot(1, 0, 3)
+        net = Net({pid: make_ble(pid, 5, initial_leader=seed,
+                                 use_qc_flag=False)
+                   for pid in (1, 2, 3, 4, 5)})
+        for a in (2, 3, 4, 5):
+            for b in (2, 3, 4, 5):
+                if a < b:
+                    net.cut(a, b)
+        for _ in range(8):
+            net.advance_round()
+        assert net.nodes[1].leader == seed  # still the stale leader
+
+    def test_chained_scenario_single_leader_change(self):
+        """Figure 5c: cutting leader<->endpoint causes exactly one change."""
+        seed = Ballot(1, 0, 2)
+        net = Net({pid: make_ble(pid, 3, initial_leader=seed)
+                   for pid in (1, 2, 3)})
+        for _ in range(3):
+            net.advance_round()
+        net.cut(2, 3)
+        for _ in range(8):
+            net.advance_round()
+        # 3 elected itself; 1 (the middle) follows 3; 2 stays stale.
+        assert net.nodes[3].leader.pid == 3
+        assert net.nodes[1].leader.pid == 3
+        assert net.nodes[2].leader.pid == 2
+        # The middle server changed leader exactly once after the cut.
+        assert net.nodes[1].stats.leader_changes == 1
+
+
+class TestRecoverySupport:
+    def test_initial_ballot_restored(self):
+        node = BallotLeaderElection(
+            BLEConfig(pid=2, peers=(1, 3), hb_period_ms=HB),
+            initial_ballot=Ballot(7, 0, 2),
+        )
+        assert node.current_ballot == Ballot(7, 0, 2)
+
+    def test_restored_ballot_keeps_rising(self):
+        node = BallotLeaderElection(
+            BLEConfig(pid=2, peers=(1, 3), hb_period_ms=HB),
+            initial_ballot=Ballot(7, 0, 2),
+        )
+        bumped = node.current_ballot.bump(Ballot(7, 0, 2))
+        assert bumped.n == 8
+
+
+class TestQuorumLease:
+    def test_quorum_heard_tracks_majority_rounds(self):
+        net = make_net(3)
+        for _ in range(3):
+            net.advance_round()
+        node = net.nodes[1]
+        assert node.quorum_heard_within(net.now, 2 * HB)
+
+    def test_no_quorum_before_any_round(self):
+        node = make_ble(1, 3)
+        node.start(0.0)
+        assert not node.quorum_heard_within(0.0, 1000.0)
+
+    def test_window_expires(self):
+        net = make_net(3)
+        for _ in range(3):
+            net.advance_round()
+        node = net.nodes[1]
+        assert not node.quorum_heard_within(net.now + 10 * HB, HB)
+
+    def test_isolated_server_loses_quorum_signal(self):
+        net = make_net(3)
+        for _ in range(3):
+            net.advance_round()
+        net.cut(1, 2)
+        net.cut(1, 3)
+        for _ in range(4):
+            net.advance_round()
+        assert not net.nodes[1].quorum_heard_within(net.now, 2 * HB)

@@ -1,0 +1,85 @@
+"""The 5-server chained scenario (paper section 2c).
+
+"in scenarios where there is no fully-connected server (e.g., a chained
+scenario with 5 servers), the cluster will be in a livelock with repeated
+leader changes due to the terms being gossiped."
+
+With servers connected 1-2-3-4-5 the inner servers {2, 3, 4} are each
+quorum-connected (three reachable servers of five) but *nobody* is fully
+connected, so protocols that rely on a fully-connected server to settle the
+gossip churn forever. Omni-Paxos settles after a bounded number of ballot
+bumps: the eventual leader is a QC server, and servers that cannot see its
+ballot keep stale claims harmlessly (no leader-identity gossip).
+"""
+
+import pytest
+
+from repro.omni.entry import Command
+from repro.sim import partitions
+from repro.sim.harness import ExperimentConfig, build_experiment
+
+T = 100.0
+CHAIN = (1, 2, 3, 4, 5)
+
+
+def run_chain(protocol, duration_ms=6_000.0, seed=7):
+    cfg = ExperimentConfig(protocol=protocol, num_servers=5,
+                           election_timeout_ms=T, seed=seed,
+                           initial_leader=2)
+    exp = build_experiment(cfg)
+    client = exp.make_client(concurrent_proposals=8)
+    exp.cluster.run_for(2_000)
+    at = exp.cluster.now
+    partitions.chained(exp.cluster, order=CHAIN)
+    exp.cluster.run_for(duration_ms)
+    return exp, client, at
+
+
+class TestOmniFiveChain:
+    def test_only_qc_servers_lead(self):
+        exp, client, at = run_chain("omni")
+        # Every leadership claim (including stale ones) belongs to a
+        # quorum-connected inner server; the endpoints never claim.
+        assert set(exp.cluster.leaders()) <= {2, 3, 4}
+        assert exp.cluster.leaders()  # and someone does lead
+
+    def test_stable_progress(self):
+        exp, client, at = run_chain("omni")
+        end = exp.cluster.now
+        downtime = client.tracker.downtime(at, end)
+        assert downtime <= 6 * T  # one constant-time leader change
+        assert client.tracker.count_between(at, end) > 0
+
+    def test_single_leader_change(self):
+        exp, client, at = run_chain("omni")
+        middle = exp.cluster.replica(3)
+        # Exactly one takeover attempt at the only QC server.
+        assert middle.ble_of_current().stats.ballots_bumped <= 2
+
+
+class TestBaselinesFiveChain:
+    def test_multipaxos_livelocks(self):
+        """The endpoints keep preempting each other through the chain;
+        Multi-Paxos decides far less than Omni-Paxos."""
+        omni_exp, omni_client, at_o = run_chain("omni")
+        mp_exp, mp_client, at_m = run_chain("multipaxos")
+        omni_decided = omni_client.tracker.count_between(
+            at_o, omni_exp.cluster.now)
+        mp_decided = mp_client.tracker.count_between(
+            at_m, mp_exp.cluster.now)
+        assert mp_decided < 0.8 * omni_decided
+
+    def test_raft_churns_terms(self):
+        exp, client, at = run_chain("raft")
+        # Only the middle server can stabilize; before it does, terms churn
+        # well beyond the single change Omni-Paxos needs.
+        max_term = max(exp.cluster.replica(p).stats.max_term_seen
+                       for p in CHAIN)
+        assert max_term >= 3  # paper: up to 8 terms above the initial
+
+    def test_omni_beats_raft_on_downtime(self):
+        omni_exp, omni_client, at_o = run_chain("omni")
+        raft_exp, raft_client, at_r = run_chain("raft")
+        omni_down = omni_client.tracker.downtime(at_o, omni_exp.cluster.now)
+        raft_down = raft_client.tracker.downtime(at_r, raft_exp.cluster.now)
+        assert omni_down <= raft_down

@@ -1,0 +1,129 @@
+"""Storage fault injection: errors propagate, safety holds, recovery works."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.omni.ballot import Ballot
+from repro.omni.entry import Command
+from repro.omni.faults import FaultyStorage
+from repro.omni.server import ClusterConfig, OmniPaxosConfig, OmniPaxosServer
+from repro.omni.storage import InMemoryStorage
+from repro.sim.cluster import SimCluster
+from repro.sim.events import EventQueue
+from repro.sim.network import NetworkParams, SimNetwork
+
+from tests.conftest import decided_logs_agree, run_until_leader
+from tests.test_sequence_paxos import Shuttle, cmd, make_sp
+
+
+class TestFaultyStorageUnit:
+    def test_passthrough_when_healthy(self):
+        storage = FaultyStorage(InMemoryStorage())
+        storage.append_entries(["a", "b"])
+        storage.set_promise(Ballot(1, 0, 1))
+        assert storage.log_len() == 2
+        assert storage.get_promise() == Ballot(1, 0, 1)
+
+    def test_fail_after_countdown(self):
+        storage = FaultyStorage(InMemoryStorage())
+        storage.fail_after(2)
+        storage.append_entry("a")
+        storage.append_entry("b")
+        with pytest.raises(StorageError):
+            storage.append_entry("c")
+        assert storage.log_len() == 2
+        assert storage.writes_failed == 1
+
+    def test_reads_survive_faults(self):
+        storage = FaultyStorage(InMemoryStorage())
+        storage.append_entry("a")
+        storage.fail_after(0)
+        assert storage.get_entries(0, 1) == ("a",)
+        assert storage.log_len() == 1
+
+    def test_heal_restores_writes(self):
+        storage = FaultyStorage(InMemoryStorage())
+        storage.fail_after(0)
+        with pytest.raises(StorageError):
+            storage.append_entry("x")
+        storage.heal()
+        assert storage.append_entry("x") == 1
+
+
+class TestProtocolUnderStorageFaults:
+    def test_leader_append_fault_propagates(self):
+        """A leader that cannot persist must surface the error to the
+        proposer, not acknowledge phantom entries."""
+        nodes = {pid: make_sp(pid) for pid in (1, 2, 3)}
+        faulty = FaultyStorage(nodes[1].storage)
+        nodes[1] = make_sp(1, storage=faulty)
+        net = Shuttle(nodes)
+        net.elect(1)
+        faulty.fail_after(0)
+        with pytest.raises(StorageError):
+            nodes[1].propose(cmd(0))
+
+    def test_follower_fault_does_not_break_cluster(self):
+        """One replica's dead disk stalls only that replica; the majority
+        keeps deciding, and the replica resyncs after recovery."""
+        cc = ClusterConfig(0, (1, 2, 3))
+        queue = EventQueue()
+        net = SimNetwork(queue, NetworkParams(one_way_ms=0.1))
+        faulty = FaultyStorage(InMemoryStorage())
+        storages = {1: InMemoryStorage(), 2: faulty, 3: InMemoryStorage()}
+        servers = {
+            pid: OmniPaxosServer(OmniPaxosConfig(
+                pid=pid, cluster=cc, hb_period_ms=50.0,
+                storage_factory=lambda cid, s=storages[pid]: s))
+            for pid in cc.servers
+        }
+        sim = SimCluster(servers, net, queue, tick_ms=5.0)
+        sim.start()
+        leader = run_until_leader(sim)
+        if leader == 2:
+            pytest.skip("fault target became leader; covered by other test")
+        faulty.fail_after(0)
+        # The faulty follower dies on its first persistence attempt; the
+        # harness treats that as a crash (fail-recovery model). Each step is
+        # guarded separately: the fault fires inside event processing.
+        for i in range(5):
+            try:
+                sim.propose(leader, cmd(i))
+            except StorageError:
+                pass
+            try:
+                sim.run_for(30)
+            except StorageError:
+                pass
+        sim.crash(2)
+        sim.run_for(100)
+        survivors = {p: servers[p] for p in (1, 3)}
+        for i in range(5, 8):
+            sim.propose(leader, cmd(i))
+        sim.run_for(100)
+        assert all(s.global_log_len >= 8 for s in survivors.values())
+        # Disk replaced: heal and rejoin through fail-recovery.
+        faulty.heal()
+        sim.recover(2)
+        sim.run_for(1_000)
+        assert servers[2].global_log_len == servers[leader].global_log_len
+        assert decided_logs_agree(servers)
+
+    def test_no_phantom_acknowledgement(self):
+        """Entries that failed to persist never appear decided anywhere."""
+        nodes = {pid: make_sp(pid) for pid in (1, 2, 3)}
+        faulty = FaultyStorage(nodes[2].storage)
+        nodes[2] = make_sp(2, storage=faulty)
+        net = Shuttle(nodes)
+        net.elect(1)
+        faulty.fail_after(0)
+        # Replication to 2 explodes at the shuttle level; drop its deliveries
+        # like a crashed process would.
+        nodes[1].propose(cmd(0))
+        try:
+            net.deliver_all()
+        except StorageError:
+            pass
+        # The majority {1, 3} still decides; 2 acknowledged nothing.
+        assert nodes[1].decided_idx <= 1
+        assert faulty.get_decided_idx() == 0

@@ -1,0 +1,101 @@
+"""Reconfiguration integration tests (paper section 7.3, Figure 9).
+
+These run the scaled-down Figure-9 experiments and assert the paper's
+qualitative findings: parallel migration beats leader-only migration, and
+Omni-Paxos beats Raft on disruption duration and leader IO.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.reconfig_experiment import run_reconfiguration_experiment
+
+COMMON = dict(
+    concurrent_proposals=32,
+    preload_entries=150_000,
+    egress_bytes_per_ms=2_000.0,
+    election_timeout_ms=100.0,
+    warmup_ms=3_000.0,
+    run_ms=25_000.0,
+    window_ms=2_000.0,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for protocol in ("omni", "raft"):
+        for replace in ("one", "majority"):
+            out[(protocol, replace)] = run_reconfiguration_experiment(
+                protocol, replace, **COMMON)
+    out[("omni-leader", "one")] = run_reconfiguration_experiment(
+        "omni", "one", migration_strategy="leader", **COMMON)
+    return out
+
+
+class TestCompletion:
+    def test_omni_completes_replace_one(self, results):
+        assert results[("omni", "one")].completed_at_ms is not None
+
+    def test_omni_completes_replace_majority(self, results):
+        assert results[("omni", "majority")].completed_at_ms is not None
+
+    def test_raft_completes_replace_one(self, results):
+        assert results[("raft", "one")].completed_at_ms is not None
+
+    def test_raft_completes_replace_majority(self, results):
+        assert results[("raft", "majority")].completed_at_ms is not None
+
+    def test_leader_only_migration_completes(self, results):
+        assert results[("omni-leader", "one")].completed_at_ms is not None
+
+
+class TestPaperClaims:
+    def test_omni_shorter_degradation_replace_one(self, results):
+        """C3: Omni's throughput dip is much shorter than Raft's."""
+        omni = results[("omni", "one")]
+        raft = results[("raft", "one")]
+        assert omni.degraded_ms < raft.degraded_ms
+
+    def test_omni_no_full_downtime_replace_one(self, results):
+        """Replacing one server never stops an Omni cluster: a majority of
+        old servers continues while the joiner migrates."""
+        omni = results[("omni", "one")]
+        assert omni.downtime_ms < 3_000.0
+
+    def test_raft_majority_replace_causes_downtime(self, results):
+        """With a majority of fresh servers, Raft cannot commit anything
+        until one of them holds the whole log (streamed by the leader)."""
+        raft = results[("raft", "majority")]
+        omni = results[("omni", "majority")]
+        assert raft.downtime_ms > 2 * omni.downtime_ms
+
+    def test_omni_lower_leader_peak_io(self, results):
+        """The leader is not the sole migration source in Omni-Paxos."""
+        for replace in ("one", "majority"):
+            omni = results[("omni", replace)]
+            raft = results[("raft", replace)]
+            assert omni.leader_peak_window_bytes < raft.leader_peak_window_bytes
+
+    def test_parallel_beats_leader_only_migration(self, results):
+        """The Figure-6 ablation: same protocol, only the migration scheme
+        differs — parallel completes faster."""
+        parallel = results[("omni", "one")]
+        leader_only = results[("omni-leader", "one")]
+        assert parallel.completed_at_ms < leader_only.completed_at_ms
+
+    def test_majority_hurts_more_than_one(self, results):
+        for protocol in ("omni", "raft"):
+            one = results[(protocol, "one")]
+            majority = results[(protocol, "majority")]
+            assert majority.downtime_ms >= one.downtime_ms
+
+
+class TestValidation:
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ConfigError):
+            run_reconfiguration_experiment("vr", "one")
+
+    def test_rejects_unknown_replace(self):
+        with pytest.raises(ConfigError):
+            run_reconfiguration_experiment("omni", "two")

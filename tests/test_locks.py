@@ -1,0 +1,204 @@
+"""Tests for the replicated lock service, including the mutual-exclusion
+property under random schedules."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locks.service import (
+    LockCommand,
+    LockError,
+    LockStateMachine,
+    ReplicatedLockService,
+    decode_lock_command,
+    encode_lock_command,
+)
+from repro.omni.entry import Command
+
+from tests.conftest import build_omni_cluster, run_until_leader
+
+
+class TestCommandValidation:
+    def test_unknown_op(self):
+        with pytest.raises(LockError):
+            LockCommand("steal", "l", "h", 0.0, 1.0)
+
+    def test_acquire_needs_lease(self):
+        with pytest.raises(LockError):
+            LockCommand("acquire", "l", "h", 0.0, 0.0)
+
+    def test_empty_names(self):
+        with pytest.raises(LockError):
+            LockCommand("acquire", "", "h", 0.0, 1.0)
+
+    def test_codec_roundtrip(self):
+        cmd = LockCommand("acquire", "db-leader", "worker-1", 123.0, 5_000.0)
+        assert decode_lock_command(encode_lock_command(cmd)) == cmd
+
+    def test_malformed_payload(self):
+        with pytest.raises(LockError):
+            decode_lock_command(Command(data=b"junk"))
+
+
+class TestStateMachine:
+    def apply(self, machine, cmd, idx=0):
+        return machine.apply(encode_lock_command(cmd), idx)
+
+    def test_acquire_free_lock(self):
+        m = LockStateMachine()
+        result = self.apply(m, LockCommand("acquire", "l", "a", 0.0, 100.0))
+        assert result.ok
+        assert m.holder_of("l") == "a"
+
+    def test_contender_rejected_while_held(self):
+        m = LockStateMachine()
+        self.apply(m, LockCommand("acquire", "l", "a", 0.0, 100.0))
+        result = self.apply(m, LockCommand("acquire", "l", "b", 10.0, 100.0),
+                            idx=1)
+        assert not result.ok
+        assert result.current_holder == "a"
+
+    def test_renewal_by_holder(self):
+        m = LockStateMachine()
+        self.apply(m, LockCommand("acquire", "l", "a", 0.0, 100.0))
+        result = self.apply(m, LockCommand("acquire", "l", "a", 50.0, 100.0),
+                            idx=1)
+        assert result.ok
+        # Lease extended: still held at logical time 120.
+        self.apply(m, LockCommand("acquire", "other", "x", 120.0, 10.0),
+                   idx=2)
+        assert m.holder_of("l") == "a"
+
+    def test_expired_lease_taken_over(self):
+        m = LockStateMachine()
+        self.apply(m, LockCommand("acquire", "l", "a", 0.0, 100.0))
+        result = self.apply(m, LockCommand("acquire", "l", "b", 150.0, 100.0),
+                            idx=1)
+        assert result.ok
+        assert m.holder_of("l") == "b"
+
+    def test_release_by_holder(self):
+        m = LockStateMachine()
+        self.apply(m, LockCommand("acquire", "l", "a", 0.0, 100.0))
+        result = self.apply(m, LockCommand("release", "l", "a", 10.0), idx=1)
+        assert result.ok
+        assert m.holder_of("l") is None
+
+    def test_release_by_stranger_fails(self):
+        m = LockStateMachine()
+        self.apply(m, LockCommand("acquire", "l", "a", 0.0, 100.0))
+        result = self.apply(m, LockCommand("release", "l", "b", 10.0), idx=1)
+        assert not result.ok
+        assert m.holder_of("l") == "a"
+
+    def test_release_expired_lock_fails(self):
+        m = LockStateMachine()
+        self.apply(m, LockCommand("acquire", "l", "a", 0.0, 50.0))
+        result = self.apply(m, LockCommand("release", "l", "a", 100.0), idx=1)
+        assert not result.ok  # the lease already lapsed
+
+    def test_clock_never_rewinds(self):
+        m = LockStateMachine()
+        self.apply(m, LockCommand("acquire", "l", "a", 100.0, 50.0))
+        # A command stamped in the past does not resurrect expiries.
+        self.apply(m, LockCommand("acquire", "other", "x", 10.0, 10.0), idx=1)
+        assert m.logical_now == 100.0
+
+    def test_independent_locks(self):
+        m = LockStateMachine()
+        self.apply(m, LockCommand("acquire", "l1", "a", 0.0, 100.0))
+        self.apply(m, LockCommand("acquire", "l2", "b", 0.0, 100.0), idx=1)
+        assert m.holder_of("l1") == "a"
+        assert m.holder_of("l2") == "b"
+
+
+lock_ops = st.lists(
+    st.builds(
+        LockCommand,
+        op=st.sampled_from(["acquire", "release"]),
+        lock=st.sampled_from(["la", "lb"]),
+        holder=st.sampled_from(["h1", "h2", "h3"]),
+        now_ms=st.floats(min_value=0, max_value=1000),
+        lease_ms=st.floats(min_value=1, max_value=200),
+    ),
+    max_size=40,
+)
+
+
+class TestMutualExclusionProperty:
+    @given(lock_ops)
+    @settings(max_examples=60)
+    def test_at_most_one_holder(self, ops):
+        """After every applied command, each lock has at most one unexpired
+        holder, and replicas applying the same history agree on it."""
+        machines = [LockStateMachine() for _ in range(3)]
+        for i, cmd in enumerate(ops):
+            entry = encode_lock_command(cmd, client_id=1, seq=i)
+            for machine in machines:
+                machine.apply(entry, i)
+            holders = {m.holder_of(cmd.lock) for m in machines}
+            assert len(holders) == 1  # replicas agree
+        assert machines[0].table() == machines[1].table() == machines[2].table()
+
+    @given(lock_ops)
+    @settings(max_examples=30)
+    def test_granted_acquire_implies_holder(self, ops):
+        machine = LockStateMachine()
+        for i, cmd in enumerate(ops):
+            result = machine.apply(encode_lock_command(cmd), i)
+            if cmd.op == "acquire" and result.ok:
+                assert machine.holder_of(cmd.lock) == cmd.holder
+
+
+class TestReplicatedService:
+    def wire(self, sim, servers):
+        services = {p: ReplicatedLockService(servers[p], client_id=p)
+                    for p in servers}
+        sim.on_decided(lambda pid, idx, e, now: services[pid].ingest(idx, e))
+        return services
+
+    def test_acquire_through_cluster(self):
+        sim, servers = build_omni_cluster(3)
+        leader = run_until_leader(sim)
+        services = self.wire(sim, servers)
+        seq = services[leader].acquire("db", "worker-1", 10_000.0, sim.now)
+        sim.run_for(100)
+        assert services[leader].result(seq).ok
+        assert all(s.holder_of("db") == "worker-1"
+                   for s in services.values())
+
+    def test_contention_decided_by_log_order(self):
+        sim, servers = build_omni_cluster(3)
+        leader = run_until_leader(sim)
+        services = self.wire(sim, servers)
+        s1 = services[leader].acquire("db", "alpha", 10_000.0, sim.now)
+        s2 = services[leader].acquire("db", "beta", 10_000.0, sim.now)
+        sim.run_for(100)
+        first = services[leader].result(s1)
+        second = services[leader].result(s2)
+        assert first.ok and not second.ok
+        assert all(s.holder_of("db") == "alpha" for s in services.values())
+
+    def test_release_then_reacquire(self):
+        sim, servers = build_omni_cluster(3)
+        leader = run_until_leader(sim)
+        services = self.wire(sim, servers)
+        services[leader].acquire("db", "alpha", 10_000.0, sim.now)
+        sim.run_for(50)
+        services[leader].release("db", "alpha", sim.now)
+        sim.run_for(50)
+        seq = services[leader].acquire("db", "beta", 10_000.0, sim.now)
+        sim.run_for(50)
+        assert services[leader].result(seq).ok
+
+    def test_lock_survives_leader_crash(self):
+        sim, servers = build_omni_cluster(3)
+        leader = run_until_leader(sim)
+        services = self.wire(sim, servers)
+        services[leader].acquire("db", "alpha", 60_000.0, sim.now)
+        sim.run_for(100)
+        sim.crash(leader)
+        new_leader = run_until_leader(sim)
+        assert services[new_leader].holder_of("db") == "alpha"

@@ -1,0 +1,151 @@
+"""Tests for Sequence Paxos' lossy-transport safeguards.
+
+The paper assumes session-based FIFO perfect links (TCP). Like the
+authors' Rust crate, this implementation additionally survives transports
+that drop individual messages: AcceptDecide carries a session sequence
+number so a follower detects gaps and resynchronizes instead of silently
+corrupting its log, and tick-driven retries recover lost Prepare /
+AcceptSync exchanges.
+"""
+
+import pytest
+
+from repro.omni.ballot import Ballot
+from repro.omni.entry import Command
+from repro.omni.messages import AcceptDecide, Prepare, PrepareReq
+from repro.omni.sequence_paxos import Phase, SequencePaxos, SequencePaxosConfig
+from repro.omni.storage import InMemoryStorage
+
+from tests.test_sequence_paxos import Shuttle, cmd, make_sp
+
+
+def make_follower(accepted_upto=0):
+    """A follower promised and synced into round (1,0,1)."""
+    follower = make_sp(2)
+    follower.on_message(1, Prepare(
+        n=Ballot(1, 0, 1), acc_rnd=Ballot(0, 0, 0), log_idx=0, decided_idx=0))
+    follower.take_outbox()
+    from repro.omni.messages import AcceptSync
+    follower.on_message(1, AcceptSync(
+        n=Ballot(1, 0, 1), suffix=tuple(cmd(i) for i in range(accepted_upto)),
+        sync_idx=0, decided_idx=0))
+    follower.take_outbox()
+    return follower
+
+
+class TestSequenceGapDetection:
+    def test_in_order_accepts_applied(self):
+        follower = make_follower()
+        for seq in (1, 2, 3):
+            follower.on_message(1, AcceptDecide(
+                n=Ballot(1, 0, 1), entries=(cmd(seq),), decided_idx=0,
+                seq=seq))
+        assert follower.log_len == 3
+
+    def test_gap_triggers_resync_request(self):
+        follower = make_follower()
+        follower.on_message(1, AcceptDecide(
+            n=Ballot(1, 0, 1), entries=(cmd(1),), decided_idx=0, seq=1))
+        follower.take_outbox()
+        # seq 2 lost; seq 3 arrives.
+        follower.on_message(1, AcceptDecide(
+            n=Ballot(1, 0, 1), entries=(cmd(3),), decided_idx=0, seq=3))
+        out = follower.take_outbox()
+        assert any(isinstance(m, PrepareReq) for _d, m in out)
+        assert follower.log_len == 1  # the out-of-order batch was NOT applied
+
+    def test_resync_requested_only_once(self):
+        follower = make_follower()
+        follower.on_message(1, AcceptDecide(
+            n=Ballot(1, 0, 1), entries=(cmd(5),), decided_idx=0, seq=5))
+        follower.take_outbox()
+        follower.on_message(1, AcceptDecide(
+            n=Ballot(1, 0, 1), entries=(cmd(6),), decided_idx=0, seq=6))
+        out = follower.take_outbox()
+        assert not any(isinstance(m, PrepareReq) for _d, m in out)
+
+    def test_duplicate_accept_ignored_silently(self):
+        follower = make_follower()
+        msg = AcceptDecide(n=Ballot(1, 0, 1), entries=(cmd(1),),
+                           decided_idx=0, seq=1)
+        follower.on_message(1, msg)
+        follower.take_outbox()
+        follower.on_message(1, msg)  # duplicate
+        out = follower.take_outbox()
+        assert follower.log_len == 1
+        assert not any(isinstance(m, PrepareReq) for _d, m in out)
+
+    def test_full_resync_after_gap(self):
+        """End-to-end: drop one AcceptDecide; the follower resynchronizes
+        via PrepareReq -> Prepare -> Promise -> AcceptSync and converges."""
+        nodes = {pid: make_sp(pid) for pid in (1, 2, 3)}
+        net = Shuttle(nodes)
+        net.elect(1)
+        nodes[1].propose(cmd(0))
+        net.deliver_all()
+        # Drop the AcceptDecide to follower 2 for the next proposal.
+        nodes[1].propose(cmd(1))
+        for dst, msg in nodes[1].take_outbox():
+            if not (dst == 2 and isinstance(msg, AcceptDecide)):
+                nodes[dst].on_message(1, msg)
+        net.deliver_all()
+        # Follower 2 is now behind (gap invisible until the next message).
+        nodes[1].propose(cmd(2))
+        net.deliver_all()  # 2 sees seq gap -> PrepareReq -> resync
+        assert nodes[2].log_len == 3
+        assert nodes[2].decided_idx >= 2
+
+
+class TestTickRetries:
+    def test_leader_reprepares_unpromised_peer(self):
+        nodes = {pid: make_sp(pid) for pid in (1, 2, 3)}
+        net = Shuttle(nodes)
+        net.cut(1, 3)
+        net.elect(1)
+        assert nodes[1].phase is Phase.ACCEPT  # majority {1, 2}
+        net.down.clear()
+        # First tick arms the timer; second fires the retry.
+        nodes[1].tick(0.0)
+        nodes[1].take_outbox()
+        nodes[1].tick(10_000.0)
+        out = nodes[1].take_outbox()
+        assert any(isinstance(m, Prepare) and d == 3 for d, m in out)
+
+    def test_follower_stuck_in_prepare_rerequests(self):
+        follower = make_sp(2)
+        follower.on_message(1, Prepare(
+            n=Ballot(1, 0, 1), acc_rnd=Ballot(0, 0, 0),
+            log_idx=0, decided_idx=0))
+        follower.take_outbox()  # the Promise (assume lost)
+        follower.tick(0.0)
+        follower.tick(10_000.0)
+        out = follower.take_outbox()
+        assert any(isinstance(m, PrepareReq) and d == 1 for d, m in out)
+
+    def test_recovering_server_rebroadcasts(self):
+        replica = make_sp(2)
+        replica.fail_recover()
+        replica.take_outbox()
+        replica.tick(0.0)
+        replica.tick(10_000.0)
+        out = replica.take_outbox()
+        assert sum(isinstance(m, PrepareReq) for _d, m in out) == 2
+
+    def test_no_retry_before_period(self):
+        nodes = {pid: make_sp(pid) for pid in (1, 2, 3)}
+        net = Shuttle(nodes)
+        net.elect(1)
+        nodes[1].tick(0.0)
+        nodes[1].take_outbox()
+        nodes[1].tick(1.0)  # well within the resend period
+        assert nodes[1].take_outbox() == []
+
+    def test_synced_cluster_ticks_quietly(self):
+        nodes = {pid: make_sp(pid) for pid in (1, 2, 3)}
+        net = Shuttle(nodes)
+        net.elect(1)
+        for node in nodes.values():
+            node.tick(0.0)
+            node.take_outbox()
+            node.tick(10_000.0)
+            assert node.take_outbox() == []

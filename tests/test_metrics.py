@@ -1,0 +1,97 @@
+"""Unit tests for the measurement instruments."""
+
+import pytest
+
+from repro.sim.metrics import DecidedTracker, IOTracker, wire_size
+
+
+class TestDecidedTracker:
+    def test_counts(self):
+        t = DecidedTracker()
+        for ms in (10, 20, 30):
+            t.record(ms)
+        assert t.count == 3
+        assert t.count_between(15, 35) == 2
+        assert t.count_between(0, 10) == 0  # half-open interval
+
+    def test_throughput(self):
+        t = DecidedTracker()
+        for ms in range(0, 1000, 10):
+            t.record(float(ms))
+        assert t.throughput(0, 1000) == pytest.approx(100.0)
+
+    def test_throughput_empty_interval(self):
+        t = DecidedTracker()
+        assert t.throughput(10, 10) == 0.0
+
+    def test_windowed_counts(self):
+        t = DecidedTracker()
+        for ms in (100, 200, 5600, 5700, 5800):
+            t.record(float(ms))
+        windows = t.windowed_counts(0, 10_000, 5_000)
+        assert windows == [(0, 2), (5_000, 3)]
+
+    def test_downtime_empty_is_whole_interval(self):
+        t = DecidedTracker()
+        assert t.downtime(0, 1000) == 1000
+
+    def test_downtime_is_longest_gap(self):
+        t = DecidedTracker()
+        for ms in (100, 200, 900):
+            t.record(float(ms))
+        assert t.downtime(0, 1000) == 700  # the 200 -> 900 gap
+
+    def test_downtime_counts_leading_and_trailing(self):
+        t = DecidedTracker()
+        t.record(400)
+        assert t.downtime(0, 1000) == 600  # trailing gap dominates
+
+    def test_recovery_time(self):
+        t = DecidedTracker()
+        t.record(100)
+        t.record(550)
+        assert t.recovery_time(200, 1000) == pytest.approx(350)
+
+    def test_recovery_none_when_dead(self):
+        t = DecidedTracker()
+        t.record(100)
+        assert t.recovery_time(200, 1000) is None
+
+
+class TestIOTracker:
+    def test_totals(self):
+        t = IOTracker()
+        t.record(1, 100, 0)
+        t.record(1, 50, 10)
+        t.record(2, 10, 0)
+        assert t.total_bytes(1) == 150
+        assert t.total_bytes(2) == 10
+        assert t.total_all() == 160
+        assert t.total_bytes(99) == 0
+
+    def test_peak_window(self):
+        t = IOTracker(window_ms=1000)
+        t.record(1, 100, 100)    # window 0
+        t.record(1, 500, 1500)   # window 1
+        t.record(1, 200, 1999)   # window 1
+        assert t.peak_window_bytes(1) == 700
+        assert t.peak_window_bytes(9) == 0
+
+    def test_window_series_sorted(self):
+        t = IOTracker(window_ms=1000)
+        t.record(1, 1, 2500)
+        t.record(1, 1, 500)
+        series = t.window_series(1)
+        assert [w for w, _b in series] == [0, 2000]
+
+
+class TestWireSize:
+    def test_uses_method_when_present(self):
+        class Sized:
+            def wire_size(self):
+                return 77
+
+        assert wire_size(Sized()) == 77
+
+    def test_fallback(self):
+        assert wire_size(object()) == 24

@@ -1,0 +1,223 @@
+"""Unit and cluster tests for the Multi-Paxos baseline."""
+
+import pytest
+
+from repro.errors import ConfigError, NotLeaderError
+from repro.baselines.multipaxos import (
+    NOOP,
+    MPRole,
+    MultiPaxosConfig,
+    MultiPaxosReplica,
+    P1a,
+    P1b,
+    P2a,
+    P2b,
+    Ping,
+    Pong,
+)
+from repro.omni.entry import Command
+from repro.sim.cluster import SimCluster
+from repro.sim.events import EventQueue
+from repro.sim.network import NetworkParams, SimNetwork
+
+T = 100.0
+
+
+def cmd(i: int) -> Command:
+    return Command(data=b"x", client_id=1, seq=i)
+
+
+def build_mp_cluster(n=3, initial_leader=None, seed=3):
+    pids = tuple(range(1, n + 1))
+    queue = EventQueue()
+    net = SimNetwork(queue, NetworkParams(one_way_ms=0.1))
+    replicas = {
+        pid: MultiPaxosReplica(MultiPaxosConfig(
+            pid=pid,
+            peers=tuple(p for p in pids if p != pid),
+            election_timeout_ms=T,
+            seed=seed,
+            initial_leader=initial_leader,
+        ))
+        for pid in pids
+    }
+    sim = SimCluster(replicas, net, queue, tick_ms=5.0)
+    sim.start()
+    return sim, replicas
+
+
+def wait_leader(sim, max_ms=10_000.0):
+    elapsed = 0.0
+    while elapsed < max_ms:
+        sim.run_for(50.0)
+        elapsed += 50.0
+        leaders = sim.leaders()
+        if leaders:
+            return leaders[0]
+    raise AssertionError("no multipaxos leader")
+
+
+class TestConfig:
+    def test_rejects_self_peer(self):
+        with pytest.raises(ConfigError):
+            MultiPaxosConfig(pid=1, peers=(1, 2))
+
+    def test_majority(self):
+        assert MultiPaxosConfig(pid=1, peers=(2, 3)).majority == 2
+        assert MultiPaxosConfig(pid=1, peers=(2, 3, 4, 5)).majority == 3
+
+    def test_ping_period_default(self):
+        cfg = MultiPaxosConfig(pid=1, peers=(2,), election_timeout_ms=500)
+        assert cfg.ping_period == 100.0
+
+
+class TestLeadership:
+    def test_elects_after_timeout(self):
+        sim, reps = build_mp_cluster(3)
+        leader = wait_leader(sim)
+        assert reps[leader].is_leader
+
+    def test_seeded_leader(self):
+        sim, reps = build_mp_cluster(3, initial_leader=2)
+        sim.run_for(50)
+        assert sim.leaders() == [2]
+
+    def test_crashed_leader_replaced(self):
+        sim, reps = build_mp_cluster(3, initial_leader=2)
+        sim.run_for(300)
+        sim.crash(2)
+        leader = wait_leader(sim)
+        assert leader != 2
+
+    def test_ballot_uniqueness_by_pid(self):
+        sim, reps = build_mp_cluster(3)
+        wait_leader(sim)
+        ballots = {r.ballot for r in reps.values() if r.ballot[0] > 0}
+        assert len({b for b in ballots}) == len(ballots)
+
+    def test_ping_answered_regardless_of_role(self):
+        replica = MultiPaxosReplica(MultiPaxosConfig(
+            pid=1, peers=(2, 3), election_timeout_ms=T))
+        replica.start(0.0)
+        replica.take_outbox()
+        replica.on_message(2, Ping(), 1.0)
+        ((dst, reply),) = replica.take_outbox()
+        assert dst == 2 and isinstance(reply, Pong)
+
+    def test_preempted_leader_becomes_follower(self):
+        sim, reps = build_mp_cluster(3, initial_leader=1)
+        sim.run_for(300)
+        # Cut 1 off from 3 only; 3 suspects and takes over via 2.
+        sim.set_link(1, 3, False)
+        sim.run_for(1500)
+        assert reps[3].is_leader or reps[1].is_leader
+        leaders = sim.leaders()
+        # At most one side holds a *working* majority at a time; no leader
+        # here ever claims without phase-1 majority.
+        assert len(leaders) >= 1
+
+
+class TestReplication:
+    def test_commands_decide_everywhere(self):
+        sim, reps = build_mp_cluster(3, initial_leader=1)
+        sim.run_for(200)
+        for i in range(10):
+            sim.propose(1, cmd(i))
+        sim.run_for(300)
+        assert all(r.decided_upto == 10 for r in reps.values())
+
+    def test_non_leader_raises(self):
+        sim, reps = build_mp_cluster(3, initial_leader=1)
+        sim.run_for(200)
+        with pytest.raises(NotLeaderError):
+            sim.propose(2, cmd(0))
+
+    def test_batch_proposals(self):
+        sim, reps = build_mp_cluster(3, initial_leader=1)
+        sim.run_for(200)
+        sim.propose_batch(1, [cmd(i) for i in range(100)])
+        sim.run_for(300)
+        assert reps[2].decided_upto == 100
+
+    def test_decided_skips_noops(self):
+        replica = MultiPaxosReplica(MultiPaxosConfig(
+            pid=1, peers=(2, 3), election_timeout_ms=T))
+        replica.start(0.0)
+        replica._accepted[0] = ((1, 1), NOOP)
+        replica._accepted[1] = ((1, 1), cmd(7))
+        replica._recompute_accepted_upto()
+        replica._advance_decided(2)
+        decided = replica.take_decided()
+        assert [e.seq for _i, e in decided] == [7]
+
+    def test_leader_change_preserves_decided(self):
+        """Phase-1 recovery: a new leader must re-adopt every decided slot."""
+        sim, reps = build_mp_cluster(3, initial_leader=1)
+        sim.run_for(200)
+        for i in range(5):
+            sim.propose(1, cmd(i))
+        sim.run_for(200)
+        before = [reps[2]._accepted[i][1].seq for i in range(5)]
+        sim.crash(1)
+        new_leader = wait_leader(sim)
+        sim.propose(new_leader, cmd(100))
+        sim.run_for(500)
+        after = [reps[2]._accepted[i][1].seq for i in range(5)]
+        assert before == after
+        assert reps[2].decided_upto >= 6
+
+    def test_follower_gap_streamed(self):
+        sim, reps = build_mp_cluster(3, initial_leader=1)
+        sim.run_for(200)
+        sim.set_link(1, 3, False)
+        sim.set_link(2, 3, False)  # fully isolate 3 (it cannot take over)
+        for i in range(10):
+            sim.propose(1, cmd(i))
+        sim.run_for(200)
+        assert reps[3].decided_upto == 0
+        sim.set_link(1, 3, True)
+        sim.set_link(2, 3, True)
+        sim.run_for(1500)
+        assert reps[3].decided_upto == 10
+
+
+class TestAcceptorLogic:
+    def test_promise_only_higher_ballots(self):
+        replica = MultiPaxosReplica(MultiPaxosConfig(
+            pid=1, peers=(2, 3), election_timeout_ms=T))
+        replica.start(0.0)
+        replica.on_message(2, P1a((5, 2), 0), 1.0)
+        replica.take_outbox()
+        replica.on_message(3, P1a((3, 3), 0), 2.0)
+        ((_d, reply),) = replica.take_outbox()
+        assert reply.promised == (5, 2)  # cites the higher promise
+
+    def test_p2a_rejected_cites_promise(self):
+        """The reject-with-higher-ballot reply: the chained-livelock gossip."""
+        replica = MultiPaxosReplica(MultiPaxosConfig(
+            pid=1, peers=(2, 3), election_timeout_ms=T))
+        replica.start(0.0)
+        replica.on_message(2, P1a((5, 2), 0), 1.0)
+        replica.take_outbox()
+        replica.on_message(3, P2a((3, 3), 0, (cmd(0),), 0), 2.0)
+        ((_d, reply),) = replica.take_outbox()
+        assert isinstance(reply, P2b)
+        assert reply.promised == (5, 2)
+
+    def test_p2a_adopts_sender_as_leader(self):
+        replica = MultiPaxosReplica(MultiPaxosConfig(
+            pid=1, peers=(2, 3), election_timeout_ms=T))
+        replica.start(0.0)
+        replica.on_message(2, P2a((5, 2), 0, (cmd(0),), 0), 1.0)
+        assert replica.leader_pid == 2
+
+    def test_p1b_carries_accepted_slots(self):
+        replica = MultiPaxosReplica(MultiPaxosConfig(
+            pid=1, peers=(2, 3), election_timeout_ms=T))
+        replica.start(0.0)
+        replica.on_message(2, P2a((1, 2), 0, (cmd(0), cmd(1)), 0), 1.0)
+        replica.take_outbox()
+        replica.on_message(3, P1a((5, 3), 0), 2.0)
+        replies = [m for _d, m in replica.take_outbox() if isinstance(m, P1b)]
+        assert len(replies) == 1
+        assert len(replies[0].accepted) == 2

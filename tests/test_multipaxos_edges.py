@@ -1,0 +1,140 @@
+"""Additional Multi-Paxos edge cases: preemption, back-off, recovery."""
+
+import pytest
+
+from repro.baselines.multipaxos import (
+    MPRole,
+    MultiPaxosConfig,
+    MultiPaxosReplica,
+    NOOP,
+    P1a,
+    P1b,
+    P2a,
+    P2b,
+    Ping,
+    Pong,
+)
+from repro.omni.entry import Command
+
+from tests.test_multipaxos import build_mp_cluster, cmd, wait_leader
+
+T = 100.0
+
+
+def make_mp(pid, peers=(2, 3), **kwargs):
+    replica = MultiPaxosReplica(MultiPaxosConfig(
+        pid=pid, peers=peers, election_timeout_ms=T, **kwargs))
+    replica.start(0.0)
+    replica.take_outbox()
+    return replica
+
+
+class TestCandidateBehaviour:
+    def test_suspicion_triggers_campaign(self):
+        replica = make_mp(1, initial_leader=2)
+        replica.tick(2 * T)  # no pongs ever arrived
+        out = replica.take_outbox()
+        assert any(isinstance(m, P1a) for _d, m in out)
+        assert replica._role is MPRole.CANDIDATE
+
+    def test_pong_resets_suspicion(self):
+        replica = make_mp(1, initial_leader=2)
+        replica.tick(T * 0.5)
+        replica.take_outbox()
+        replica.on_message(2, Pong(), T * 0.9)
+        replica.tick(T * 1.5)
+        out = replica.take_outbox()
+        assert not any(isinstance(m, P1a) for _d, m in out)
+
+    def test_candidate_retries_with_backoff(self):
+        replica = make_mp(1, initial_leader=2)
+        replica.tick(2 * T)
+        replica.take_outbox()
+        first_ballot = replica.ballot
+        # Way past any back-off: a retry campaign must fire.
+        replica.tick(20 * T)
+        out = replica.take_outbox()
+        p1as = [m for _d, m in out if isinstance(m, P1a)]
+        assert p1as
+        assert p1as[0].ballot >= first_ballot
+
+    def test_campaign_ballot_exceeds_everything_seen(self):
+        replica = make_mp(1, initial_leader=2)
+        replica.on_message(3, P1a((41, 3), 0), 1.0)
+        replica.take_outbox()
+        replica.tick(2 * T)
+        out = replica.take_outbox()
+        ((_, p1a),) = [(d, m) for d, m in out if isinstance(m, P1a)][:1]
+        assert p1a.ballot[0] == 42
+
+    def test_pongs_from_non_leader_ignored(self):
+        replica = make_mp(1, initial_leader=2)
+        replica.on_message(3, Pong(), T * 0.9)  # not the believed leader
+        replica.tick(2 * T)
+        out = replica.take_outbox()
+        assert any(isinstance(m, P1a) for _d, m in out)
+
+
+class TestLeaderBehaviour:
+    def test_established_leader_heartbeats(self):
+        sim, reps = build_mp_cluster(3, initial_leader=1)
+        sim.run_for(500)
+        # Followers keep seeing empty P2a heartbeats: no suspicion.
+        assert sim.leaders() == [1]
+        assert reps[2].leader_pid == 1
+
+    def test_leader_preempted_by_p2b_reject(self):
+        replica = make_mp(1, initial_leader=1)
+        assert replica.is_leader
+        replica.on_message(2, P2b((1, 1), (9, 3), 0), 1.0)
+        assert not replica.is_leader
+        assert replica.leader_pid == 3  # monitors the preemptor
+
+    def test_noop_gaps_filled_on_takeover(self):
+        """A new leader fills unrecovered slots with no-ops so the decided
+        watermark can pass them."""
+        replica = make_mp(1, peers=(2, 3))
+        # Manually enter candidacy and feed promises with a gap at slot 1.
+        replica.tick(2 * T)
+        replica.take_outbox()
+        ballot = replica.ballot
+        replica.on_message(2, P1b(ballot, ballot,
+                                  ((0, (1, 9), cmd(0)), (2, (1, 9), cmd(2))),
+                                  0), 1.0)
+        assert replica.is_leader
+        assert replica._log[1] == NOOP
+
+    def test_decided_watermark_needs_majority(self):
+        sim, reps = build_mp_cluster(5, initial_leader=1)
+        sim.run_for(300)
+        for p in (3, 4, 5):
+            sim.crash(p)
+        sim.propose(1, cmd(0))
+        sim.run_for(300)
+        assert reps[1].decided_upto == 0  # 2 of 5 is not a majority
+
+
+class TestRecovery:
+    def test_recovered_acceptor_state_survives(self):
+        sim, reps = build_mp_cluster(3, initial_leader=1)
+        sim.run_for(300)
+        for i in range(5):
+            sim.propose(1, cmd(i))
+        sim.run_for(200)
+        sim.crash(2)
+        sim.recover(2)
+        sim.run_for(1_500)
+        assert reps[2].decided_upto == 5
+
+    def test_cluster_survives_rolling_leader_crashes(self):
+        sim, reps = build_mp_cluster(3, initial_leader=1)
+        sim.run_for(300)
+        sim.propose(1, cmd(0))
+        sim.run_for(200)
+        sim.crash(1)
+        second = wait_leader(sim)
+        sim.propose(second, cmd(1))
+        sim.run_for(200)
+        sim.recover(1)
+        sim.run_for(1_500)
+        assert reps[1].decided_upto >= 2

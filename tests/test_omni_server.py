@@ -1,0 +1,286 @@
+"""Integration-style tests for OmniPaxosServer through the simulator."""
+
+import pytest
+
+from repro.errors import ConfigError, NotLeaderError
+from repro.omni.entry import Command, StopSign, is_stopsign
+from repro.omni.server import ClusterConfig, OmniPaxosConfig, OmniPaxosServer
+from repro.omni.storage import InMemoryStorage
+
+from tests.conftest import build_omni_cluster, decided_logs_agree, run_until_leader
+
+
+def cmd(i: int) -> Command:
+    return Command(data=b"x", client_id=1, seq=i)
+
+
+class TestConfigValidation:
+    def test_cluster_config_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(0, ())
+
+    def test_cluster_config_rejects_duplicates(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(0, (1, 1, 2))
+
+    def test_cluster_config_rejects_nonpositive_pids(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(0, (0, 1))
+
+    def test_majority(self):
+        assert ClusterConfig(0, (1, 2, 3)).majority == 2
+        assert ClusterConfig(0, (1, 2, 3, 4, 5)).majority == 3
+
+    def test_peers_of(self):
+        assert ClusterConfig(0, (1, 2, 3)).peers_of(2) == (1, 3)
+
+    def test_joiner_flag(self):
+        cfg = OmniPaxosConfig(pid=9, cluster=ClusterConfig(0, (1, 2, 3)))
+        assert cfg.is_joiner
+        cfg = OmniPaxosConfig(pid=1, cluster=ClusterConfig(0, (1, 2, 3)))
+        assert not cfg.is_joiner
+
+    def test_initial_leader_must_be_member(self):
+        cfg = OmniPaxosConfig(pid=1, cluster=ClusterConfig(0, (1, 2, 3)),
+                              initial_leader=9)
+        server = OmniPaxosServer(cfg)
+        with pytest.raises(ConfigError):
+            server.start(0.0)
+
+
+class TestElectionAndReplication:
+    def test_exactly_one_leader(self, omni3):
+        sim, servers, leader = omni3
+        assert sim.leaders() == [leader]
+
+    def test_replication_reaches_all(self, omni3):
+        sim, servers, leader = omni3
+        for i in range(10):
+            sim.propose(leader, cmd(i))
+        sim.run_for(50)
+        for server in servers.values():
+            assert server.global_log_len == 10
+        assert decided_logs_agree(servers)
+
+    def test_follower_forwards_to_leader(self, omni3):
+        sim, servers, leader = omni3
+        follower = next(p for p in servers if p != leader)
+        sim.propose(follower, cmd(0))
+        sim.run_for(50)
+        assert servers[leader].global_log_len == 1
+
+    def test_seeded_leader_skips_election(self):
+        sim, servers = build_omni_cluster(3, initial_leader=2)
+        sim.run_for(20)
+        assert sim.leaders() == [2]
+
+    def test_leader_pid_agrees_everywhere(self, omni3):
+        sim, servers, leader = omni3
+        assert {srv.leader_pid for srv in servers.values()} == {leader}
+
+    def test_read_log_slices(self, omni3):
+        sim, servers, leader = omni3
+        for i in range(5):
+            sim.propose(leader, cmd(i))
+        sim.run_for(50)
+        log = servers[leader].read_log(1, 3)
+        assert [e.seq for e in log] == [1, 2]
+
+    def test_propose_on_unstarted_joiner_raises(self):
+        server = OmniPaxosServer(OmniPaxosConfig(
+            pid=9, cluster=ClusterConfig(0, (1, 2, 3))
+        ))
+        server.start(0.0)
+        with pytest.raises(NotLeaderError):
+            server.propose(cmd(0), 0.0)
+
+    def test_propose_batch_is_single_accept(self, omni3):
+        sim, servers, leader = omni3
+        sim.run_for(100)  # let the leader finish its Prepare phase
+        before = sim.network.messages_sent
+        sim.propose_batch(leader, [cmd(i) for i in range(100)])
+        after = sim.network.messages_sent
+        # One AcceptDecide per follower, not per entry.
+        assert after - before == 2
+
+
+class TestCrashRecovery:
+    def test_follower_crash_recover_catches_up(self, omni3):
+        sim, servers, leader = omni3
+        follower = next(p for p in servers if p != leader)
+        sim.crash(follower)
+        for i in range(5):
+            sim.propose(leader, cmd(i))
+        sim.run_for(100)
+        assert servers[follower].global_log_len == 0  # crashed: silent
+        sim.recover(follower)
+        sim.run_for(300)
+        assert servers[follower].global_log_len == 5
+
+    def test_leader_crash_fails_over(self, omni3):
+        sim, servers, leader = omni3
+        sim.propose(leader, cmd(0))
+        sim.run_for(50)
+        sim.crash(leader)
+        new_leader = run_until_leader(sim)
+        assert new_leader != leader
+        sim.propose(new_leader, cmd(1))
+        sim.run_for(50)
+        survivors = {p: s for p, s in servers.items() if p != leader}
+        assert all(s.global_log_len == 2 for s in survivors.values())
+
+    def test_recovered_leader_rejoins_as_follower(self, omni3):
+        sim, servers, leader = omni3
+        sim.propose(leader, cmd(0))
+        sim.run_for(50)
+        sim.crash(leader)
+        new_leader = run_until_leader(sim)
+        sim.propose(new_leader, cmd(1))
+        sim.run_for(50)
+        sim.recover(leader)
+        sim.run_for(500)
+        assert servers[leader].global_log_len == 2
+        assert not servers[leader].is_leader
+
+    def test_majority_crash_blocks_then_recovers(self, omni3):
+        sim, servers, leader = omni3
+        followers = [p for p in servers if p != leader]
+        sim.crash(followers[0])
+        sim.crash(followers[1])
+        sim.propose(leader, cmd(0))
+        sim.run_for(300)
+        assert servers[leader].global_log_len == 0
+        sim.recover(followers[0])
+        sim.run_for(500)
+        assert servers[leader].global_log_len == 1
+
+
+class TestSessionDrops:
+    def test_link_flap_resyncs_follower(self, omni3):
+        sim, servers, leader = omni3
+        follower = next(p for p in servers if p != leader)
+        sim.set_link(leader, follower, False)
+        for i in range(5):
+            sim.propose(leader, cmd(i))
+        sim.run_for(100)
+        assert servers[follower].global_log_len < 5
+        sim.set_link(leader, follower, True)
+        sim.run_for(300)
+        assert servers[follower].global_log_len == 5
+
+
+class TestReconfiguration:
+    def test_replace_one_server(self):
+        sim, servers = build_omni_cluster(3, joiners=(4,))
+        leader = run_until_leader(sim)
+        for i in range(20):
+            sim.propose(leader, cmd(i))
+        sim.run_for(100)
+        new_config = tuple(sorted({1, 2, 3, 4} - {next(
+            p for p in (1, 2, 3) if p != leader)}))
+        sim.reconfigure(leader, new_config)
+        sim.run_for(3000)
+        joiner = servers[4]
+        assert tuple(sorted(joiner.members)) == new_config
+        # 20 commands + 1 stop-sign.
+        assert joiner.global_log_len == 21
+        assert is_stopsign(joiner.read_log()[20])
+
+    def test_replicas_converge_after_reconfig(self):
+        sim, servers = build_omni_cluster(3, joiners=(4,))
+        leader = run_until_leader(sim)
+        for i in range(10):
+            sim.propose(leader, cmd(i))
+        sim.run_for(100)
+        sim.reconfigure(leader, (1, 2, 3, 4))
+        sim.run_for(3000)
+        new_leader = run_until_leader(sim)
+        sim.propose(new_leader, cmd(100))
+        sim.run_for(200)
+        lengths = {p: servers[p].global_log_len for p in (1, 2, 3, 4)}
+        assert set(lengths.values()) == {12}  # 10 + stop-sign + 1 new
+        assert decided_logs_agree(servers)
+
+    def test_removed_server_retires(self):
+        sim, servers = build_omni_cluster(3, joiners=(4,))
+        leader = run_until_leader(sim)
+        removed = next(p for p in (1, 2, 3) if p != leader)
+        new_config = tuple(sorted({1, 2, 3, 4} - {removed}))
+        sim.reconfigure(leader, new_config)
+        sim.run_for(3000)
+        with pytest.raises(NotLeaderError):
+            servers[removed].propose(cmd(0), sim.now)
+
+    def test_proposals_during_transition_are_buffered(self):
+        sim, servers = build_omni_cluster(3, joiners=(4,))
+        leader = run_until_leader(sim)
+        sim.reconfigure(leader, (1, 2, 3, 4))
+        # Immediately propose: configuration is stopped but not switched.
+        for i in range(5):
+            try:
+                sim.propose(leader, cmd(i))
+            except NotLeaderError:
+                pytest.fail("leader must buffer, not reject, during transition")
+        sim.run_for(3000)
+        new_leader = run_until_leader(sim)
+        sim.run_for(500)
+        # All five buffered commands eventually decide in the new config.
+        total = servers[new_leader].global_log_len
+        assert total == 6  # 5 commands + stop-sign
+
+    def test_stopsign_visible_in_decided_stream(self):
+        sim, servers = build_omni_cluster(3)
+        leader = run_until_leader(sim)
+        seen = []
+        sim.on_decided(lambda pid, idx, entry, now: seen.append((pid, entry)))
+        sim.reconfigure(leader, (1, 2))
+        sim.run_for(1000)
+        assert any(is_stopsign(entry) for _pid, entry in seen)
+
+    def test_leader_only_migration_also_completes(self):
+        sim, servers = build_omni_cluster(
+            3, joiners=(4,), migration_strategy="leader"
+        )
+        leader = run_until_leader(sim)
+        for i in range(10):
+            sim.propose(leader, cmd(i))
+        sim.run_for(100)
+        sim.reconfigure(leader, (1, 2, 3, 4))
+        sim.run_for(3000)
+        assert servers[4].global_log_len == 11
+
+
+class TestPreload:
+    def test_preloaded_storage_seeds_global_log(self):
+        entries = tuple(cmd(i) for i in range(50))
+
+        def factory(config_id):
+            storage = InMemoryStorage()
+            if config_id == 0:
+                storage.append_entries(entries)
+                storage.set_decided_idx(len(entries))
+            return storage
+
+        sim, servers = build_omni_cluster(3, storage_factory=factory)
+        leader = run_until_leader(sim)
+        assert all(s.global_log_len == 50 for s in servers.values())
+        sim.propose(leader, cmd(100))
+        sim.run_for(100)
+        assert all(s.global_log_len == 51 for s in servers.values())
+
+    def test_preloaded_entries_not_reemitted(self):
+        entries = tuple(cmd(i) for i in range(10))
+
+        def factory(config_id):
+            storage = InMemoryStorage()
+            if config_id == 0:
+                storage.append_entries(entries)
+                storage.set_decided_idx(len(entries))
+            return storage
+
+        sim, servers = build_omni_cluster(3, storage_factory=factory)
+        seen = []
+        sim.on_decided(lambda pid, idx, entry, now: seen.append(idx))
+        run_until_leader(sim)
+        sim.run_for(200)
+        assert seen == []  # history is not news

@@ -1,0 +1,190 @@
+"""Edge-case tests for OmniPaxosServer's service layer and multiplexing."""
+
+import pytest
+
+from repro.errors import NotLeaderError
+from repro.omni.ballot import Ballot
+from repro.omni.entry import Command
+from repro.omni.messages import (
+    COMPONENT_BLE,
+    COMPONENT_SERVICE,
+    COMPONENT_SP,
+    Envelope,
+    HeartbeatRequest,
+    JoinComplete,
+    LogPullRequest,
+    LogSegment,
+    NewConfiguration,
+    PrepareReq,
+)
+from repro.omni.server import ClusterConfig, OmniPaxosConfig, OmniPaxosServer
+
+from tests.conftest import build_omni_cluster, run_until_leader
+
+
+def cmd(i: int) -> Command:
+    return Command(data=b"x", client_id=1, seq=i)
+
+
+def make_server(pid=1, servers=(1, 2, 3), **kwargs):
+    server = OmniPaxosServer(OmniPaxosConfig(
+        pid=pid, cluster=ClusterConfig(0, servers), hb_period_ms=50.0,
+        **kwargs))
+    server.start(0.0)
+    return server
+
+
+class TestEnvelopeRouting:
+    def test_non_envelope_rejected(self):
+        server = make_server()
+        with pytest.raises(TypeError):
+            server.on_message(2, HeartbeatRequest(1), 1.0)
+
+    def test_unknown_config_dropped_and_counted(self):
+        server = make_server()
+        env = Envelope(99, COMPONENT_SP, PrepareReq())
+        server.on_message(2, env, 1.0)
+        assert server.stats.dropped_cross_config == 1
+
+    def test_ble_for_inactive_config_ignored(self):
+        sim, servers = build_omni_cluster(3, joiners=(4,))
+        leader = run_until_leader(sim)
+        sim.reconfigure(leader, (1, 2, 3, 4))
+        sim.run_for(2_000)
+        srv = servers[leader]
+        # Heartbeats addressed to the *stopped* configuration 0 are ignored
+        # without touching the live instance.
+        before = srv.stats.dropped_cross_config
+        srv.on_message(2, Envelope(0, COMPONENT_BLE, HeartbeatRequest(5)),
+                       sim.now)
+        assert srv.take_outbox() == []  # no reply from a stopped BLE
+
+    def test_messages_before_start_ignored(self):
+        server = OmniPaxosServer(OmniPaxosConfig(
+            pid=1, cluster=ClusterConfig(0, (1, 2, 3))))
+        server.on_message(2, Envelope(0, COMPONENT_SP, PrepareReq()), 0.0)
+        assert server.take_outbox() == []
+
+    def test_crashed_server_silent(self):
+        server = make_server()
+        server.take_outbox()  # drain the startup heartbeats
+        server.crash()
+        server.on_message(2, Envelope(0, COMPONENT_SP, PrepareReq()), 1.0)
+        server.tick(10.0)
+        assert server.take_outbox() == []
+
+
+class TestServiceMessages:
+    def test_duplicate_new_configuration_acked(self):
+        """A NewConfiguration for an already-started config draws a
+        JoinComplete so the announcer stops retransmitting."""
+        server = make_server()
+        msg = NewConfiguration(config_id=0, servers=(1, 2, 3), log_len=0)
+        server.on_message(2, Envelope(0, COMPONENT_SERVICE, msg), 1.0)
+        out = server.take_outbox()
+        assert any(isinstance(e.payload, JoinComplete) and d == 2
+                   for d, e in out)
+
+    def test_new_configuration_for_other_server_ignored(self):
+        server = make_server()
+        msg = NewConfiguration(config_id=1, servers=(7, 8, 9), log_len=0)
+        server.on_message(2, Envelope(1, COMPONENT_SERVICE, msg), 1.0)
+        assert not server.migrating
+
+    def test_pull_request_served_from_global_log(self):
+        sim, servers = build_omni_cluster(3)
+        leader = run_until_leader(sim)
+        for i in range(5):
+            sim.propose(leader, cmd(i))
+        sim.run_for(100)
+        srv = servers[leader]
+        srv.on_message(9, Envelope(0, COMPONENT_SERVICE,
+                                   LogPullRequest(1, 1, 4)), sim.now)
+        out = srv.take_outbox()
+        segments = [e.payload for _d, e in out
+                    if isinstance(e.payload, LogSegment)]
+        assert len(segments) == 1
+        assert [entry.seq for entry in segments[0].entries] == [1, 2, 3]
+        assert segments[0].complete
+
+    def test_stray_log_segment_ignored(self):
+        server = make_server()
+        seg = LogSegment(config_id=1, from_idx=0, entries=(cmd(0),),
+                         complete=True)
+        server.on_message(2, Envelope(1, COMPONENT_SERVICE, seg), 1.0)
+        assert server.global_log_len == 0
+
+    def test_join_complete_stops_announcements(self):
+        sim, servers = build_omni_cluster(3, joiners=(4,))
+        leader = run_until_leader(sim)
+        sim.reconfigure(leader, (1, 2, 3, 4))
+        sim.run_for(3_000)  # join completes
+        srv = servers[leader]
+        assert 4 not in srv._announce_deadlines
+
+
+class TestAccessors:
+    def test_joiner_has_no_instances(self):
+        joiner = OmniPaxosServer(OmniPaxosConfig(
+            pid=9, cluster=ClusterConfig(0, (1, 2, 3))))
+        joiner.start(0.0)
+        assert joiner.ble_of_current() is None
+        assert joiner.sp_of_current() is None
+        assert joiner.leader_pid is None
+        assert not joiner.is_leader
+
+    def test_read_log_defaults_to_full(self):
+        sim, servers = build_omni_cluster(3)
+        leader = run_until_leader(sim)
+        for i in range(3):
+            sim.propose(leader, cmd(i))
+        sim.run_for(100)
+        assert len(servers[leader].read_log()) == 3
+        assert len(servers[leader].read_log(1)) == 2
+
+    def test_current_config(self):
+        server = make_server()
+        assert server.current_config.servers == (1, 2, 3)
+        assert server.current_config.config_id == 0
+
+    def test_start_idempotent(self):
+        server = make_server()
+        server.start(5.0)  # second start: no-op
+        assert server.current_config is not None
+
+    def test_stats_reconfigurations_counted(self):
+        sim, servers = build_omni_cluster(3, joiners=(4,))
+        leader = run_until_leader(sim)
+        sim.reconfigure(leader, (1, 2, 3, 4))
+        sim.run_for(2_000)
+        assert servers[leader].stats.reconfigurations == 1
+
+
+class TestProposalRouting:
+    def test_reconfig_from_follower_forwards(self):
+        sim, servers = build_omni_cluster(3, joiners=(4,))
+        leader = run_until_leader(sim)
+        follower = next(p for p in (1, 2, 3) if p != leader)
+        sim.reconfigure(follower, (1, 2, 3, 4))
+        sim.run_for(3_000)
+        assert tuple(sorted(servers[4].members)) == (1, 2, 3, 4)
+
+    def test_propose_at_retired_server_raises(self):
+        sim, servers = build_omni_cluster(3, joiners=(4,))
+        leader = run_until_leader(sim)
+        removed = next(p for p in (1, 2, 3) if p != leader)
+        sim.reconfigure(leader, tuple(sorted({1, 2, 3, 4} - {removed})))
+        sim.run_for(3_000)
+        with pytest.raises(NotLeaderError):
+            servers[removed].propose(cmd(0), sim.now)
+
+    def test_batch_on_transitioning_server_buffers(self):
+        sim, servers = build_omni_cluster(3, joiners=(4,))
+        leader = run_until_leader(sim)
+        sim.reconfigure(leader, (1, 2, 3, 4))
+        servers[leader].propose_batch([cmd(i) for i in range(3)], sim.now)
+        sim.run_for(3_000)
+        new_leader = run_until_leader(sim)
+        sim.run_for(500)
+        # stop-sign + the 3 buffered commands
+        assert servers[new_leader].global_log_len == 4

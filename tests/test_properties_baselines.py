@@ -1,0 +1,126 @@
+"""Property-based chaos tests for the baseline protocols.
+
+The baselines must uphold the same core safety property as Omni-Paxos —
+decided/committed logs across servers are prefix-ordered and never retract —
+under randomized link cuts, heals, crashes and proposals. (Their *liveness*
+differs under partial connectivity, which is the paper's point; safety must
+not.)
+"""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.omni.entry import Command
+from repro.sim.harness import ExperimentConfig, build_experiment
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("propose"), st.integers(1, 5)),
+        st.tuples(st.just("cut"),
+                  st.tuples(st.integers(1, 5), st.integers(1, 5))),
+        st.tuples(st.just("heal"), st.just(0)),
+        st.tuples(st.just("crash"), st.integers(1, 5)),
+        st.tuples(st.just("recover"), st.integers(1, 5)),
+        st.tuples(st.just("advance"), st.integers(1, 8)),
+    ),
+    min_size=5,
+    max_size=30,
+)
+
+
+class PrefixChecker:
+    """Asserts per-index agreement and no retraction across servers.
+
+    A restarted Raft server legitimately *re-emits* its committed prefix
+    (the commit index is volatile in the spec; applied state is rebuilt by
+    replay), so the property checked is the one that must never break:
+    the same log index always carries the same command — at one server over
+    time, and across any two servers.
+    """
+
+    def __init__(self, cluster):
+        self.maps = {pid: {} for pid in cluster.pids}
+        cluster.on_decided(self._observe)
+
+    def _observe(self, pid, idx, entry, now):
+        if isinstance(entry, Command):
+            key = (entry.client_id, entry.seq)
+        else:
+            key = ("special", repr(entry))
+        seen = self.maps[pid].get(idx)
+        assert seen is None or seen == key, \
+            f"server {pid} retracted index {idx}: {seen} -> {key}"
+        self.maps[pid][idx] = key
+
+    def check_prefixes(self):
+        pids = sorted(self.maps)
+        for i, a in enumerate(pids):
+            for b in pids[i + 1:]:
+                common = self.maps[a].keys() & self.maps[b].keys()
+                for idx in common:
+                    assert self.maps[a][idx] == self.maps[b][idx], \
+                        f"servers {a} and {b} disagree at index {idx}"
+
+
+def run_chaos(protocol, action_list, seed):
+    cfg = ExperimentConfig(protocol=protocol, num_servers=5,
+                           election_timeout_ms=50.0, seed=seed,
+                           initial_leader=3)
+    exp = build_experiment(cfg)
+    checker = PrefixChecker(exp.cluster)
+    seq = itertools.count()
+    crashed = set()
+    for action, arg in action_list:
+        if action == "propose" and arg not in crashed:
+            try:
+                exp.cluster.propose(
+                    arg, Command(b"c", client_id=7, seq=next(seq)))
+            except Exception:
+                pass
+        elif action == "cut":
+            a, b = arg
+            if a != b:
+                exp.cluster.set_link(a, b, False)
+        elif action == "heal":
+            exp.cluster.heal_all_links()
+        elif action == "crash" and arg not in crashed and len(crashed) < 2:
+            exp.cluster.crash(arg)
+            crashed.add(arg)
+        elif action == "recover" and arg in crashed:
+            exp.cluster.recover(arg)
+            crashed.discard(arg)
+        elif action == "advance":
+            exp.cluster.run_for(arg * 25.0)
+        checker.check_prefixes()
+    exp.cluster.heal_all_links()
+    for pid in list(crashed):
+        exp.cluster.recover(pid)
+    exp.cluster.run_for(2_000)
+    checker.check_prefixes()
+    return checker
+
+
+class TestRaftSafetyUnderChaos:
+    @given(action_list=actions, seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_prefix_order(self, action_list, seed):
+        run_chaos("raft", action_list, seed)
+
+
+class TestMultiPaxosSafetyUnderChaos:
+    @given(action_list=actions, seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_prefix_order(self, action_list, seed):
+        run_chaos("multipaxos", action_list, seed)
+
+
+class TestVRSafetyUnderChaos:
+    @given(action_list=actions, seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_prefix_order(self, action_list, seed):
+        run_chaos("vr", action_list, seed)

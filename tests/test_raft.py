@@ -1,0 +1,330 @@
+"""Unit and cluster tests for the Raft baseline (incl. PreVote/CheckQuorum)."""
+
+from typing import Dict
+
+import pytest
+
+from repro.errors import ConfigError, NotLeaderError
+from repro.baselines.raft import (
+    AppendEntries,
+    AppendEntriesReply,
+    RaftConfig,
+    RaftConfigChange,
+    RaftReplica,
+    RaftRole,
+    RaftSlot,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.omni.entry import Command
+from repro.sim.cluster import SimCluster
+from repro.sim.events import EventQueue
+from repro.sim.network import NetworkParams, SimNetwork
+
+T = 100.0
+
+
+def cmd(i: int) -> Command:
+    return Command(data=b"x", client_id=1, seq=i)
+
+
+def build_raft_cluster(n=3, initial_leader=None, prevote=False,
+                       check_quorum=False, seed=3, extra_pids=()):
+    voters = tuple(range(1, n + 1))
+    queue = EventQueue()
+    net = SimNetwork(queue, NetworkParams(one_way_ms=0.1))
+    replicas = {}
+    for pid in voters + tuple(extra_pids):
+        in_config = pid in voters
+        replicas[pid] = RaftReplica(RaftConfig(
+            pid=pid,
+            voters=voters if in_config else (),
+            election_timeout_ms=T,
+            prevote=prevote,
+            check_quorum=check_quorum,
+            seed=seed,
+            initial_leader=initial_leader if in_config else None,
+        ))
+    sim = SimCluster(replicas, net, queue, tick_ms=5.0)
+    sim.start()
+    return sim, replicas
+
+
+def wait_leader(sim, max_ms=10_000.0):
+    elapsed = 0.0
+    while elapsed < max_ms:
+        sim.run_for(50.0)
+        elapsed += 50.0
+        leaders = sim.leaders()
+        if len(leaders) == 1:
+            return leaders[0]
+    raise AssertionError("no raft leader elected")
+
+
+class TestConfig:
+    def test_pid_must_be_voter_or_joiner(self):
+        with pytest.raises(ConfigError):
+            RaftConfig(pid=9, voters=(1, 2, 3))
+        RaftConfig(pid=9, voters=())  # joiner: fine
+
+    def test_default_heartbeat_is_fifth(self):
+        assert RaftConfig(pid=1, voters=(1,),
+                          election_timeout_ms=500).heartbeat_interval == 100.0
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ConfigError):
+            RaftConfig(pid=1, voters=(1,), election_timeout_ms=0)
+
+
+class TestElection:
+    def test_elects_a_leader(self):
+        sim, reps = build_raft_cluster(3)
+        leader = wait_leader(sim)
+        assert reps[leader].role is RaftRole.LEADER
+
+    def test_seeded_leader(self):
+        sim, reps = build_raft_cluster(3, initial_leader=2)
+        sim.run_for(50)
+        assert sim.leaders() == [2]
+
+    def test_dead_leader_replaced(self):
+        sim, reps = build_raft_cluster(3, initial_leader=2)
+        sim.run_for(200)
+        sim.crash(2)
+        leader = wait_leader(sim)
+        assert leader != 2
+
+    def test_votes_persist_within_term(self):
+        replica = RaftReplica(RaftConfig(pid=1, voters=(1, 2, 3),
+                                         election_timeout_ms=T))
+        replica.start(0.0)
+        replica.on_message(2, RequestVote(5, 2, 0, 0), 1.0)
+        ((dst, reply),) = replica.take_outbox()
+        assert reply.granted
+        replica.on_message(3, RequestVote(5, 3, 0, 0), 2.0)
+        ((_d, reply2),) = replica.take_outbox()
+        assert not reply2.granted  # already voted for 2 in term 5
+
+    def test_stale_term_vote_rejected(self):
+        replica = RaftReplica(RaftConfig(pid=1, voters=(1, 2, 3),
+                                         election_timeout_ms=T))
+        replica.start(0.0)
+        replica.on_message(2, RequestVote(3, 2, 0, 0), 1.0)
+        replica.take_outbox()
+        replica.on_message(3, RequestVote(1, 3, 0, 0), 2.0)
+        ((_d, reply),) = replica.take_outbox()
+        assert not reply.granted
+
+    def test_log_up_to_date_rule(self):
+        """The 'max log' requirement that deadlocks Raft in the
+        constrained-election scenario."""
+        replica = RaftReplica(RaftConfig(pid=1, voters=(1, 2, 3),
+                                         election_timeout_ms=T))
+        replica.preload([cmd(0), cmd(1)], term=1)
+        replica.start(0.0)
+        # Candidate with shorter log, same last term: rejected.
+        replica.on_message(2, RequestVote(5, 2, 1, 1), 1.0)
+        ((_d, r1),) = replica.take_outbox()
+        assert not r1.granted
+        # Candidate with longer log: granted.
+        replica.on_message(3, RequestVote(5, 3, 5, 1), 2.0)
+        ((_d, r2),) = replica.take_outbox()
+        assert r2.granted
+
+    def test_non_member_candidate_ignored(self):
+        replica = RaftReplica(RaftConfig(pid=1, voters=(1, 2, 3),
+                                         election_timeout_ms=T))
+        replica.start(0.0)
+        replica.on_message(9, RequestVote(9, 9, 99, 9), 1.0)
+        ((_d, reply),) = replica.take_outbox()
+        assert not reply.granted
+        assert replica.term == 0  # term NOT adopted from a non-member
+
+    def test_randomized_timeouts_differ_across_seeds(self):
+        a = RaftReplica(RaftConfig(pid=1, voters=(1, 2), seed=1,
+                                   election_timeout_ms=T))
+        b = RaftReplica(RaftConfig(pid=1, voters=(1, 2), seed=2,
+                                   election_timeout_ms=T))
+        a.start(0.0)
+        b.start(0.0)
+        assert a._election_deadline != b._election_deadline
+
+
+class TestReplication:
+    def test_commands_commit_everywhere(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1)
+        sim.run_for(100)
+        for i in range(10):
+            sim.propose(1, cmd(i))
+        sim.run_for(200)
+        assert all(r.commit_idx == 10 for r in reps.values())
+
+    def test_decided_stream_in_order(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1)
+        sim.run_for(100)
+        seen = []
+        sim.on_decided(lambda pid, idx, e, now: seen.append((pid, idx)))
+        for i in range(5):
+            sim.propose(1, cmd(i))
+        sim.run_for(200)
+        for pid in (1, 2, 3):
+            indices = [i for p, i in seen if p == pid]
+            assert indices == sorted(indices)
+
+    def test_non_leader_raises_with_hint(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1)
+        sim.run_for(100)
+        with pytest.raises(NotLeaderError) as err:
+            sim.propose(2, cmd(0))
+        assert err.value.leader == 1
+
+    def test_conflicting_suffix_truncated(self):
+        replica = RaftReplica(RaftConfig(pid=2, voters=(1, 2, 3),
+                                         election_timeout_ms=T))
+        replica.start(0.0)
+        # Old entries from term 1.
+        replica.on_message(1, AppendEntries(
+            term=1, leader=1, prev_idx=0, prev_term=0,
+            entries=(RaftSlot(1, cmd(0)), RaftSlot(1, cmd(1))),
+            leader_commit=0), 1.0)
+        replica.take_outbox()
+        # New leader at term 2 overwrites index 1.
+        replica.on_message(3, AppendEntries(
+            term=2, leader=3, prev_idx=1, prev_term=1,
+            entries=(RaftSlot(2, cmd(9)),), leader_commit=0), 2.0)
+        assert replica.log_len == 2
+        assert replica._log.term_at(2) == 2
+
+    def test_gap_rejected_with_hint(self):
+        replica = RaftReplica(RaftConfig(pid=2, voters=(1, 2, 3),
+                                         election_timeout_ms=T))
+        replica.start(0.0)
+        replica.on_message(1, AppendEntries(
+            term=1, leader=1, prev_idx=5, prev_term=1,
+            entries=(RaftSlot(1, cmd(9)),), leader_commit=0), 1.0)
+        ((_d, reply),) = replica.take_outbox()
+        assert not reply.success
+        assert reply.match_idx == 0  # hint: my log is empty
+
+    def test_joiner_catches_up_from_scratch(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1, extra_pids=(4,))
+        sim.run_for(100)
+        for i in range(50):
+            sim.propose(1, cmd(i))
+        sim.run_for(100)
+        sim.reconfigure(1, (1, 2, 3, 4))
+        sim.run_for(2000)
+        assert reps[4].commit_idx == 51  # 50 commands + config entry
+        assert reps[4].members == (1, 2, 3, 4)
+
+    def test_commit_requires_current_term_entry(self):
+        """A leader must not count replicas for old-term entries (Raft §5.4.2)."""
+        sim, reps = build_raft_cluster(3, initial_leader=1)
+        sim.run_for(100)
+        sim.set_link(1, 2, False)
+        sim.set_link(1, 3, False)
+        try:
+            sim.propose(1, cmd(0))
+        except NotLeaderError:
+            pytest.skip("leader already stepped down")
+        sim.run_for(50)
+        assert reps[1].commit_idx == 0
+
+
+class TestReconfiguration:
+    def test_removed_leader_steps_down(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1, extra_pids=(4,))
+        sim.run_for(100)
+        sim.reconfigure(1, (2, 3, 4))
+        sim.run_for(3000)
+        assert not reps[1].is_leader
+
+    def test_double_reconfig_rejected_while_pending(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1, extra_pids=(4, 5))
+        sim.run_for(100)
+        sim.set_link(1, 2, False)
+        sim.set_link(1, 3, False)  # prevent the first change committing
+        sim.reconfigure(1, (1, 2, 3, 4))
+        with pytest.raises(ConfigError):
+            sim.reconfigure(1, (1, 2, 3, 5))
+
+    def test_config_change_entry_visible(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1, extra_pids=(4,))
+        sim.run_for(100)
+        seen = []
+        sim.on_decided(lambda pid, idx, e, now: seen.append(e))
+        sim.reconfigure(1, (1, 2, 3, 4))
+        sim.run_for(1000)
+        assert any(isinstance(e, RaftConfigChange) for e in seen)
+
+
+class TestPreVoteCheckQuorum:
+    def test_prevote_does_not_bump_terms(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1, prevote=True,
+                                       check_quorum=True)
+        sim.run_for(200)
+        term_before = reps[1].term
+        # Isolate follower 3: its prevotes must fail without disturbing terms.
+        sim.set_link(3, 1, False)
+        sim.set_link(3, 2, False)
+        sim.run_for(1500)
+        assert reps[1].term == term_before
+        assert reps[1].is_leader
+
+    def test_plain_raft_isolated_follower_disrupts(self):
+        """Without PreVote an isolated-then-healed follower's term churn
+        dethrones a healthy leader (the classic disruption)."""
+        sim, reps = build_raft_cluster(3, initial_leader=1)
+        sim.run_for(200)
+        sim.set_link(3, 1, False)
+        sim.set_link(3, 2, False)
+        sim.run_for(1500)
+        assert reps[3].term > reps[1].term
+        sim.set_link(3, 1, True)
+        sim.set_link(3, 2, True)
+        sim.run_for(1000)
+        assert reps[1].term > 1  # the healthy group was forced to re-elect
+
+    def test_check_quorum_leader_steps_down(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1,
+                                       check_quorum=True)
+        sim.run_for(200)
+        sim.set_link(1, 2, False)
+        sim.set_link(1, 3, False)
+        sim.run_for(1000)
+        assert not reps[1].is_leader
+        assert reps[1].stats.stepdowns_check_quorum >= 1
+
+    def test_prevote_grants_require_election_timeout(self):
+        replica = RaftReplica(RaftConfig(pid=1, voters=(1, 2, 3),
+                                         election_timeout_ms=T, prevote=True))
+        replica.start(0.0)
+        # Simulate fresh leader contact.
+        replica.on_message(2, AppendEntries(
+            term=1, leader=2, prev_idx=0, prev_term=0, entries=(),
+            leader_commit=0), 10.0)
+        replica.take_outbox()
+        replica.on_message(3, RequestVote(2, 3, 0, 0, prevote=True), 20.0)
+        ((_d, reply),) = replica.take_outbox()
+        assert not reply.granted  # leader stickiness
+
+
+class TestCrashRecovery:
+    def test_log_survives_crash(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1)
+        sim.run_for(100)
+        for i in range(5):
+            sim.propose(1, cmd(i))
+        sim.run_for(100)
+        sim.crash(2)
+        sim.recover(2)
+        sim.run_for(500)
+        assert reps[2].log_len == 5
+        assert reps[2].commit_idx == 5  # re-learnt from the leader
+
+    def test_preload_after_start_rejected(self):
+        replica = RaftReplica(RaftConfig(pid=1, voters=(1,),
+                                         election_timeout_ms=T))
+        replica.start(0.0)
+        with pytest.raises(ConfigError):
+            replica.preload([cmd(0)])

@@ -1,0 +1,177 @@
+"""Raft InstallSnapshot: snapshot-based catch-up for far-behind followers."""
+
+import pytest
+
+from repro.baselines.raft import (
+    AppendEntriesReply,
+    InstallSnapshot,
+    RaftConfig,
+    RaftLog,
+    RaftReplica,
+    RaftSlot,
+)
+from repro.omni.entry import Command, SnapshotInstalled
+from repro.sim.cluster import SimCluster
+from repro.sim.events import EventQueue
+from repro.sim.network import NetworkParams, SimNetwork
+
+T = 100.0
+
+
+def cmd(i: int) -> Command:
+    return Command(data=b"x", client_id=1, seq=i)
+
+
+def counting_fold(entries, prev_state):
+    base = prev_state or 0
+    return base + len(entries)
+
+
+def build_snapshot_cluster(threshold=50, n=3, initial_leader=1):
+    voters = tuple(range(1, n + 1))
+    queue = EventQueue()
+    net = SimNetwork(queue, NetworkParams(one_way_ms=0.1))
+    replicas = {
+        pid: RaftReplica(RaftConfig(
+            pid=pid, voters=voters, election_timeout_ms=T,
+            snapshotter=counting_fold,
+            snapshot_catchup_threshold=threshold,
+            max_entries_per_msg=20,
+            initial_leader=initial_leader, seed=3,
+        ))
+        for pid in voters
+    }
+    sim = SimCluster(replicas, net, queue, tick_ms=5.0)
+    sim.start()
+    return sim, replicas
+
+
+class TestRaftLog:
+    def test_logical_indices(self):
+        log = RaftLog()
+        log.extend(RaftSlot(1, cmd(i)) for i in range(5))
+        assert len(log) == 5
+        assert log.term_at(5) == 1
+        assert log.slot_at(3).entry.seq == 2
+
+    def test_install_keeps_tail(self):
+        log = RaftLog()
+        log.extend(RaftSlot(1, cmd(i)) for i in range(5))
+        log.install(3, 1)
+        assert len(log) == 5
+        assert log.base == 3
+        assert log.slot_at(4).entry.seq == 3
+        assert log.term_at(3) == 1  # boundary term from the snapshot
+
+    def test_install_beyond_len_clears(self):
+        log = RaftLog()
+        log.extend(RaftSlot(1, cmd(i)) for i in range(3))
+        log.install(10, 2)
+        assert len(log) == 10
+        assert log.base == 10
+        assert log.term_at(10) == 2
+
+    def test_reading_snapshotted_raises(self):
+        log = RaftLog()
+        log.extend(RaftSlot(1, cmd(i)) for i in range(5))
+        log.install(3, 1)
+        with pytest.raises(IndexError):
+            log.slot_at(2)
+
+    def test_install_is_monotone(self):
+        log = RaftLog()
+        log.install(5, 2)
+        log.install(3, 1)  # lower: no-op
+        assert log.base == 5
+
+    def test_slice_clamps_to_base(self):
+        log = RaftLog()
+        log.extend(RaftSlot(1, cmd(i)) for i in range(6))
+        log.install(2, 1)
+        assert [s.entry.seq for s in log.slice(0, 4)] == [2, 3]
+
+
+class TestSnapshotCatchUp:
+    def test_far_behind_follower_gets_snapshot(self):
+        sim, reps = build_snapshot_cluster(threshold=50)
+        sim.run_for(100)
+        sim.crash(3)
+        for lo in range(0, 200, 50):
+            sim.propose_batch(1, [cmd(i) for i in range(lo, lo + 50)])
+            sim.run_for(50)
+        sim.recover(3)
+        sim.run_for(2_000)
+        assert reps[1].stats.snapshots_sent >= 1
+        assert reps[3].commit_idx == 200
+        assert reps[3]._log.base > 0
+
+    def test_snapshot_surfaces_in_decided_stream(self):
+        sim, reps = build_snapshot_cluster(threshold=50)
+        decided = {p: [] for p in (1, 2, 3)}
+        sim.on_decided(lambda pid, idx, e, now: decided[pid].append((idx, e)))
+        sim.run_for(100)
+        sim.crash(3)
+        sim.propose_batch(1, [cmd(i) for i in range(200)])
+        sim.run_for(200)
+        sim.recover(3)
+        sim.run_for(2_000)
+        markers = [e for _i, e in decided[3]
+                   if isinstance(e, SnapshotInstalled)]
+        assert len(markers) >= 1
+        # The fold counted the snapshotted entries.
+        assert markers[0].state > 0
+        # And regular entries continue after the marker.
+        sim.propose_batch(1, [cmd(i) for i in range(200, 205)])
+        sim.run_for(300)
+        tail = [e.seq for _i, e in decided[3] if isinstance(e, Command)]
+        assert tail and tail[-1] == 204
+
+    def test_close_follower_streams_normally(self):
+        sim, reps = build_snapshot_cluster(threshold=1_000)
+        sim.run_for(100)
+        sim.propose_batch(1, [cmd(i) for i in range(100)])
+        sim.run_for(500)
+        assert reps[1].stats.snapshots_sent == 0
+        assert all(r.commit_idx == 100 for r in reps.values())
+
+    def test_no_snapshotter_never_snapshots(self):
+        from tests.test_raft import build_raft_cluster
+        sim, reps = build_raft_cluster(3, initial_leader=1)
+        sim.run_for(100)
+        sim.crash(3)
+        sim.propose_batch(1, [cmd(i) for i in range(500)])
+        sim.run_for(200)
+        sim.recover(3)
+        sim.run_for(2_000)
+        assert reps[1].stats.snapshots_sent == 0
+        assert reps[3].commit_idx == 500  # full log streaming still works
+
+    def test_stale_install_snapshot_rejected(self):
+        replica = RaftReplica(RaftConfig(
+            pid=2, voters=(1, 2, 3), election_timeout_ms=T))
+        replica.start(0.0)
+        replica.on_message(1, InstallSnapshot(
+            term=0, leader=1, last_idx=10, last_term=1,
+            state=10, leader_commit=10), 1.0)
+        replica._term = 5  # now the message below is stale
+        replica.take_outbox()
+        replica.on_message(1, InstallSnapshot(
+            term=1, leader=1, last_idx=20, last_term=1,
+            state=20, leader_commit=20), 2.0)
+        ((_d, reply),) = replica.take_outbox()
+        assert isinstance(reply, AppendEntriesReply)
+        assert not reply.success
+
+    def test_snapshotted_follower_serves_as_leader(self):
+        """A follower that only ever saw a snapshot can still win elections
+        and replicate (it retains the state for even-later joiners)."""
+        sim, reps = build_snapshot_cluster(threshold=50)
+        sim.run_for(100)
+        sim.crash(3)
+        sim.propose_batch(1, [cmd(i) for i in range(200)])
+        sim.run_for(200)
+        sim.recover(3)
+        sim.run_for(2_000)
+        assert reps[3]._log.base > 0
+        # Kill the other two; 3 must eventually offer its snapshot state.
+        assert reps[3]._snap_state is not None

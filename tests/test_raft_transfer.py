@@ -1,0 +1,88 @@
+"""Raft leadership transfer (TimeoutNow)."""
+
+import pytest
+
+from repro.errors import ConfigError, NotLeaderError
+from repro.baselines.raft import TimeoutNow
+from repro.omni.entry import Command
+
+from tests.test_raft import build_raft_cluster, cmd, wait_leader
+
+T = 100.0
+
+
+class TestTransfer:
+    def test_transfer_moves_leadership_fast(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1)
+        sim.run_for(200)
+        before = sim.now
+        reps[1].transfer_leadership(2, sim.now)
+        sim._flush(1)
+        sim.run_for(50)  # one round trip, no election-timeout wait
+        assert sim.leaders() == [2]
+        assert sim.now - before <= T
+
+    def test_replication_continues_after_transfer(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1)
+        sim.run_for(200)
+        for i in range(5):
+            sim.propose(1, cmd(i))
+        sim.run_for(100)
+        reps[1].transfer_leadership(3, sim.now)
+        sim._flush(1)
+        sim.run_for(100)
+        assert sim.leaders() == [3]
+        for i in range(5, 10):
+            sim.propose(3, cmd(i))
+        sim.run_for(200)
+        assert all(r.commit_idx == 10 for r in reps.values())
+
+    def test_only_leader_may_transfer(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1)
+        sim.run_for(200)
+        with pytest.raises(NotLeaderError):
+            reps[2].transfer_leadership(3, sim.now)
+
+    def test_target_must_be_voter(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1)
+        sim.run_for(200)
+        with pytest.raises(ConfigError):
+            reps[1].transfer_leadership(9, sim.now)
+        with pytest.raises(ConfigError):
+            reps[1].transfer_leadership(1, sim.now)
+
+    def test_lagging_target_rejected_then_caught_up(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1)
+        sim.run_for(200)
+        sim.set_link(1, 2, False)
+        for i in range(10):
+            sim.propose(1, cmd(i))
+        sim.run_for(100)
+        sim.set_link(1, 2, True)
+        with pytest.raises(ConfigError):
+            reps[1].transfer_leadership(2, sim.now)
+        sim._flush(1)  # the refusal also kicked off catch-up
+        sim.run_for(200)
+        reps[1].transfer_leadership(2, sim.now)
+        sim._flush(1)
+        sim.run_for(100)
+        assert sim.leaders() == [2]
+
+    def test_stale_timeout_now_ignored(self):
+        sim, reps = build_raft_cluster(3, initial_leader=1)
+        sim.run_for(200)
+        term_before = reps[2].term
+        reps[2].on_message(1, TimeoutNow(term=0), sim.now)  # stale term
+        sim.run_for(50)
+        assert sim.leaders() == [1]
+        assert reps[2].term == term_before
+
+    def test_transfer_works_under_pvcq(self):
+        """TimeoutNow must bypass PreVote's leader stickiness."""
+        sim, reps = build_raft_cluster(3, initial_leader=1, prevote=True,
+                                       check_quorum=True)
+        sim.run_for(200)
+        reps[1].transfer_leadership(2, sim.now)
+        sim._flush(1)
+        sim.run_for(100)
+        assert sim.leaders() == [2]

@@ -1,0 +1,101 @@
+"""Leader read leases: linearizable local reads without log writes."""
+
+import pytest
+
+from repro.errors import NotLeaderError
+from repro.kv.store import KVCommand, ReplicatedKVStore
+from repro.omni.entry import Command
+from repro.sim import partitions
+
+from tests.conftest import build_omni_cluster, run_until_leader
+
+
+def cmd(i: int) -> Command:
+    return Command(data=b"x", client_id=1, seq=i)
+
+
+class TestLeaseBasics:
+    def test_steady_state_leader_holds_lease(self):
+        sim, servers = build_omni_cluster(3, hb_period_ms=50.0)
+        leader = run_until_leader(sim)
+        sim.run_for(200)
+        assert servers[leader].holds_read_lease(sim.now)
+
+    def test_followers_never_hold_lease(self):
+        sim, servers = build_omni_cluster(3, hb_period_ms=50.0)
+        leader = run_until_leader(sim)
+        sim.run_for(200)
+        for pid, server in servers.items():
+            if pid != leader:
+                assert not server.holds_read_lease(sim.now)
+
+    def test_lease_expires_without_ticks(self):
+        sim, servers = build_omni_cluster(3, hb_period_ms=50.0)
+        leader = run_until_leader(sim)
+        sim.run_for(200)
+        # Two heartbeat periods into the future with no new quorum round.
+        assert not servers[leader].holds_read_lease(sim.now + 100.0)
+
+    def test_quorum_loss_drops_lease_within_a_round(self):
+        """A leader that lost its quorum must stop serving local reads —
+        the scenario where serving them would be a stale read."""
+        sim, servers = build_omni_cluster(5, hb_period_ms=50.0,
+                                          initial_leader=3)
+        sim.run_for(300)
+        assert servers[3].holds_read_lease(sim.now)
+        partitions.quorum_loss(sim, pivot=1)
+        sim.run_for(150)  # a few rounds with no majority replies at 3
+        assert not servers[3].holds_read_lease(sim.now)
+
+    def test_safety_factor_shrinks_window(self):
+        sim, servers = build_omni_cluster(3, hb_period_ms=50.0)
+        leader = run_until_leader(sim)
+        sim.run_for(200)
+        assert servers[leader].holds_read_lease(sim.now, safety=0.8)
+        assert not servers[leader].holds_read_lease(sim.now + 45.0,
+                                                    safety=0.5)
+
+
+class TestKVLeasedReads:
+    def wire(self, sim, servers):
+        stores = {p: ReplicatedKVStore(servers[p], client_id=p)
+                  for p in servers}
+        sim.on_decided(lambda pid, idx, e, now: stores[pid].ingest(idx, e))
+        return stores
+
+    def test_leased_read_returns_committed_value(self):
+        sim, servers = build_omni_cluster(3, hb_period_ms=50.0)
+        leader = run_until_leader(sim)
+        stores = self.wire(sim, servers)
+        stores[leader].submit(KVCommand("put", "k", "v1"), sim.now)
+        sim.run_for(200)
+        assert stores[leader].read_leased("k", sim.now) == "v1"
+
+    def test_leased_read_refused_at_follower(self):
+        sim, servers = build_omni_cluster(3, hb_period_ms=50.0)
+        leader = run_until_leader(sim)
+        stores = self.wire(sim, servers)
+        follower = next(p for p in servers if p != leader)
+        sim.run_for(200)
+        with pytest.raises(NotLeaderError):
+            stores[follower].read_leased("k", sim.now)
+
+    def test_deposed_leader_refuses_reads(self):
+        """The money test: a leader cut off from its quorum refuses local
+        reads even while a new leader elsewhere accepts new writes —
+        preventing the classic stale-read anomaly."""
+        sim, servers = build_omni_cluster(5, hb_period_ms=50.0,
+                                          initial_leader=3)
+        stores = self.wire(sim, servers)
+        sim.run_for(300)
+        stores[3].submit(KVCommand("put", "color", "blue"), sim.now)
+        sim.run_for(100)
+        partitions.quorum_loss(sim, pivot=1)
+        sim.run_for(600)  # pivot takes over leadership
+        assert 1 in sim.leaders()
+        # The new leader commits a write the old leader cannot see.
+        stores[1].submit(KVCommand("put", "color", "green"), sim.now)
+        sim.run_for(100)
+        assert stores[1].read_leased("color", sim.now) == "green"
+        with pytest.raises(NotLeaderError):
+            stores[3].read_leased("color", sim.now)

@@ -1,0 +1,79 @@
+"""Regression: racing Prepare/Promise cycles must not desynchronize the
+AcceptDecide session counters.
+
+Found by the hypothesis chaos suite: a link flap made a follower send a
+PrepareReq *and* the leader re-Prepare on session-restore. The follower
+promised twice; the leader answered the second (stale) promise with a late
+AcceptSync — resetting its per-follower sequence counter — but the follower,
+already back in the Accept phase, dropped that AcceptSync. From then on
+every AcceptDecide looked like a duplicate at the follower and it silently
+stopped replicating until the next leader change.
+
+The fix: followers apply same-round AcceptSyncs in the Accept phase too,
+clipping any part below their decided prefix.
+"""
+
+from repro.omni.ballot import Ballot
+from repro.omni.messages import AcceptSync, Prepare, PrepareReq
+
+from tests.test_sequence_paxos import Shuttle, cmd, make_sp
+
+
+def test_double_prepare_cycle_keeps_replicating():
+    """Deterministic replay of the falsifying schedule."""
+    nodes = {pid: make_sp(pid) for pid in (1, 2, 3)}
+    net = Shuttle(nodes)
+    net.elect(1)
+    leader, follower = nodes[1], nodes[2]
+    # Simulate the race: the follower asks for a Prepare while the leader
+    # independently re-Prepares it (session restore) — two full cycles.
+    follower.reconnected(1)           # -> PrepareReq
+    leader.reconnected(2)             # -> Prepare
+    net.deliver_all()                 # both cycles complete, in order
+    leader.reconnected(2)             # a third Prepare for good measure
+    net.deliver_all()
+    # The follower must still accept new entries afterwards.
+    leader.propose(cmd(0))
+    leader.propose(cmd(1))
+    net.deliver_all()
+    assert follower.log_len == 2
+    assert follower.decided_idx == 2
+
+
+def test_accept_phase_sync_clips_below_decided():
+    """A stale AcceptSync whose sync point is below the follower's decided
+    prefix is applied from the decided index on, never truncating decided
+    entries."""
+    nodes = {pid: make_sp(pid) for pid in (1, 2, 3)}
+    net = Shuttle(nodes)
+    net.elect(1)
+    for i in range(3):
+        nodes[1].propose(cmd(i))
+    net.deliver_all()
+    follower = nodes[2]
+    assert follower.decided_idx == 3
+    round_n = follower.current_round
+    # A stale same-round AcceptSync from index 0 (as if answering an old
+    # promise): the overlap with the decided prefix must be skipped.
+    full_log = nodes[1].storage.get_entries(0, 3)
+    follower.on_message(1, AcceptSync(
+        n=round_n, suffix=full_log, sync_idx=0, decided_idx=3))
+    assert follower.log_len == 3
+    assert follower.decided_idx == 3
+    assert [e.seq for e in follower.storage.get_entries(0, 3)] == [0, 1, 2]
+
+
+def test_flap_storm_converges():
+    """Many rapid flaps (the chaos pattern) never wedge replication."""
+    nodes = {pid: make_sp(pid) for pid in (1, 2, 3)}
+    net = Shuttle(nodes)
+    net.elect(1)
+    for round_no in range(6):
+        nodes[2].reconnected(1)
+        nodes[1].reconnected(2)
+        net.deliver_all()
+        nodes[1].propose(cmd(round_no))
+        net.deliver_all()
+    assert nodes[2].log_len == 6
+    assert nodes[2].decided_idx == 6
+    assert nodes[3].decided_idx == 6

@@ -1,0 +1,175 @@
+"""Tests for the asyncio runtime: framing codec and live TCP clusters."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import TransportError
+from repro.omni.ballot import Ballot
+from repro.omni.entry import Command
+from repro.omni.messages import Accepted, Envelope, COMPONENT_SP
+from repro.omni.server import ClusterConfig, OmniPaxosConfig, OmniPaxosServer
+from repro.runtime.codec import FrameDecoder, encode_frame
+from repro.runtime.node import RuntimeNode
+from repro.runtime.transport import PeerAddress, TcpMesh
+
+BASE_PORT = 42600
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        frame = encode_frame(1, {"hello": "world"})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame) == [(1, {"hello": "world"})]
+
+    def test_roundtrip_protocol_message(self):
+        msg = Envelope(0, COMPONENT_SP, Accepted(Ballot(1, 0, 2), 7))
+        decoder = FrameDecoder()
+        ((src, decoded),) = decoder.feed(encode_frame(3, msg))
+        assert src == 3
+        assert decoded == msg
+
+    def test_partial_feeds(self):
+        frame = encode_frame(1, "x" * 1000)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(0, len(frame), 7):
+            out.extend(decoder.feed(frame[i:i + 7]))
+        assert out == [(1, "x" * 1000)]
+
+    def test_multiple_frames_one_feed(self):
+        data = encode_frame(1, "a") + encode_frame(2, "b")
+        decoder = FrameDecoder()
+        assert decoder.feed(data) == [(1, "a"), (2, "b")]
+
+    def test_empty_feed(self):
+        assert FrameDecoder().feed(b"") == []
+
+    def test_oversized_length_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(TransportError):
+            decoder.feed(b"\xff\xff\xff\xff")
+
+
+def _addr(pid, offset=0):
+    return PeerAddress(pid, "127.0.0.1", BASE_PORT + offset + pid)
+
+
+class TestTransport:
+    def test_listen_pid_must_match(self):
+        with pytest.raises(TransportError):
+            TcpMesh(pid=1, listen=_addr(2), peers={}, on_message=lambda s, m: None)
+
+    def test_two_node_exchange(self):
+        async def scenario():
+            inbox = []
+            a = TcpMesh(1, _addr(1, 10), {2: _addr(2, 10)},
+                        on_message=lambda s, m: inbox.append((s, m)))
+            b = TcpMesh(2, _addr(2, 10), {1: _addr(1, 10)},
+                        on_message=lambda s, m: inbox.append((s, m)))
+            await a.start()
+            await b.start()
+            await asyncio.sleep(0.3)
+            a.send(2, "ping")
+            b.send(1, "pong")
+            await asyncio.sleep(0.3)
+            await a.close()
+            await b.close()
+            return inbox
+
+        inbox = asyncio.run(scenario())
+        assert (1, "ping") in inbox
+        assert (2, "pong") in inbox
+
+    def test_send_to_unconnected_peer_dropped(self):
+        async def scenario():
+            a = TcpMesh(1, _addr(1, 20), {2: _addr(2, 20)},
+                        on_message=lambda s, m: None)
+            await a.start()
+            a.send(2, "lost")  # peer never started: silent drop
+            await a.close()
+
+        asyncio.run(scenario())  # must not raise
+
+
+class TestRuntimeCluster:
+    def _build(self, offset):
+        cc = ClusterConfig(0, (1, 2, 3))
+        addrs = {p: _addr(p, offset) for p in cc.servers}
+        nodes = {}
+        for p in cc.servers:
+            server = OmniPaxosServer(OmniPaxosConfig(
+                pid=p, cluster=cc, hb_period_ms=40.0))
+            nodes[p] = RuntimeNode(
+                server, addrs[p],
+                {q: a for q, a in addrs.items() if q != p},
+                tick_ms=8.0,
+            )
+        return nodes
+
+    def test_live_cluster_replicates(self):
+        async def scenario():
+            nodes = self._build(30)
+            for node in nodes.values():
+                await node.start()
+            try:
+                leader = None
+                for _ in range(100):
+                    await asyncio.sleep(0.05)
+                    leaders = [p for p, n in nodes.items() if n.is_leader]
+                    if leaders:
+                        leader = leaders[0]
+                        break
+                assert leader is not None, "no leader over TCP"
+                for i in range(10):
+                    nodes[leader].propose(Command(b"x", client_id=1, seq=i))
+                for _ in range(100):
+                    await asyncio.sleep(0.05)
+                    lens = [n.replica.global_log_len for n in nodes.values()]
+                    if all(l == 10 for l in lens):
+                        break
+                assert all(n.replica.global_log_len == 10
+                           for n in nodes.values())
+            finally:
+                for node in nodes.values():
+                    await node.stop()
+
+        asyncio.run(scenario())
+
+    def test_decided_callback(self):
+        async def scenario():
+            cc = ClusterConfig(0, (1, 2, 3))
+            addrs = {p: _addr(p, 40) for p in cc.servers}
+            decided = []
+            nodes = {}
+            for p in cc.servers:
+                server = OmniPaxosServer(OmniPaxosConfig(
+                    pid=p, cluster=cc, hb_period_ms=40.0))
+                handler = (lambda i, e: decided.append((i, e))) if p == 1 else None
+                nodes[p] = RuntimeNode(
+                    server, addrs[p],
+                    {q: a for q, a in addrs.items() if q != p},
+                    tick_ms=8.0, on_decided=handler,
+                )
+            for node in nodes.values():
+                await node.start()
+            try:
+                leader = None
+                for _ in range(100):
+                    await asyncio.sleep(0.05)
+                    leaders = [p for p, n in nodes.items() if n.is_leader]
+                    if leaders:
+                        leader = leaders[0]
+                        break
+                assert leader is not None
+                nodes[leader].propose(Command(b"y", client_id=1, seq=0))
+                for _ in range(60):
+                    await asyncio.sleep(0.05)
+                    if decided:
+                        break
+                assert decided and decided[0][0] == 0
+            finally:
+                for node in nodes.values():
+                    await node.stop()
+
+        asyncio.run(scenario())

@@ -1,0 +1,123 @@
+"""Tests for the scenario runner itself (partition builders + measurement)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import partitions
+from repro.sim.scenarios import (
+    SCENARIOS,
+    apply_scenario,
+    run_partition_scenario,
+)
+from repro.sim.harness import ExperimentConfig, build_experiment
+
+from tests.conftest import build_omni_cluster
+
+
+class TestPartitionBuilders:
+    def test_quorum_loss_topology(self):
+        sim, _ = build_omni_cluster(5)
+        partitions.quorum_loss(sim, pivot=2)
+        net = sim.network
+        for other in (1, 3, 4, 5):
+            assert net.is_up(2, other)
+        assert not net.is_up(1, 3)
+        assert not net.is_up(4, 5)
+
+    def test_quorum_loss_needs_member_pivot(self):
+        sim, _ = build_omni_cluster(3)
+        with pytest.raises(ConfigError):
+            partitions.quorum_loss(sim, pivot=9)
+
+    def test_constrained_isolates_leader(self):
+        sim, _ = build_omni_cluster(5)
+        partitions.constrained_election(sim, pivot=1, leader=3)
+        net = sim.network
+        for other in (1, 2, 4, 5):
+            assert not net.is_up(3, other)
+        for other in (2, 4, 5):
+            assert net.is_up(1, other)
+        assert not net.is_up(2, 4)
+
+    def test_constrained_rejects_same_pivot_leader(self):
+        sim, _ = build_omni_cluster(5)
+        with pytest.raises(ConfigError):
+            partitions.constrained_election(sim, pivot=1, leader=1)
+
+    def test_chained_topology(self):
+        sim, _ = build_omni_cluster(3)
+        partitions.chained(sim, order=(2, 1, 3))
+        net = sim.network
+        assert net.is_up(2, 1)
+        assert net.is_up(1, 3)
+        assert not net.is_up(2, 3)
+
+    def test_chained_requires_permutation(self):
+        sim, _ = build_omni_cluster(3)
+        with pytest.raises(ConfigError):
+            partitions.chained(sim, order=(1, 2))
+
+    def test_chained_five_servers(self):
+        sim, _ = build_omni_cluster(5)
+        partitions.chained(sim, order=(1, 2, 3, 4, 5))
+        net = sim.network
+        assert net.is_up(1, 2) and net.is_up(4, 5)
+        assert not net.is_up(1, 5)
+        assert not net.is_up(2, 4)
+
+    def test_full_partition(self):
+        sim, _ = build_omni_cluster(5)
+        partitions.full_partition(sim, side_a=(1, 2))
+        net = sim.network
+        assert net.is_up(1, 2)
+        assert net.is_up(3, 4)
+        assert not net.is_up(1, 3)
+
+    def test_heal(self):
+        sim, _ = build_omni_cluster(3)
+        partitions.chained(sim, order=(1, 2, 3))
+        partitions.heal(sim)
+        assert sim.network.down_links() == ()
+
+
+class TestRunner:
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(ConfigError):
+            run_partition_scenario("omni", "weird")
+
+    def test_apply_scenario_rejects_unknown(self):
+        cfg = ExperimentConfig(protocol="omni", num_servers=5,
+                               initial_leader=3)
+        exp = build_experiment(cfg)
+        with pytest.raises(ConfigError):
+            apply_scenario(exp, "weird")
+
+    def test_result_fields_consistent(self):
+        result = run_partition_scenario(
+            "omni", "quorum_loss", election_timeout_ms=100,
+            partition_duration_ms=2_000, seed=1)
+        assert result.protocol == "omni"
+        assert result.scenario == "quorum_loss"
+        assert result.partition_end_ms > result.partition_at_ms
+        assert result.downtime_ms <= 2_000 + 1
+        assert result.downtime_in_timeouts == pytest.approx(
+            result.downtime_ms / 100.0)
+
+    def test_default_sizes(self):
+        chained = run_partition_scenario(
+            "omni", "chained", election_timeout_ms=100,
+            partition_duration_ms=1_000, seed=1)
+        five = run_partition_scenario(
+            "omni", "quorum_loss", election_timeout_ms=100,
+            partition_duration_ms=1_000, seed=1)
+        assert chained is not None and five is not None
+
+    def test_deterministic_given_seed(self):
+        a = run_partition_scenario("omni", "chained",
+                                   election_timeout_ms=100,
+                                   partition_duration_ms=2_000, seed=5)
+        b = run_partition_scenario("omni", "chained",
+                                   election_timeout_ms=100,
+                                   partition_duration_ms=2_000, seed=5)
+        assert a.decided_during_partition == b.decided_during_partition
+        assert a.downtime_ms == b.downtime_ms

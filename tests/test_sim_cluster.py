@@ -1,0 +1,84 @@
+"""Tests for SimCluster wiring: ticks, crashes, observers, late joiners."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.omni.entry import Command
+from repro.sim.cluster import SimCluster
+from repro.sim.events import EventQueue
+from repro.sim.network import NetworkParams, SimNetwork
+
+from tests.conftest import build_omni_cluster, run_until_leader
+
+
+def cmd(i: int) -> Command:
+    return Command(data=b"x", client_id=1, seq=i)
+
+
+class TestValidation:
+    def test_rejects_empty_cluster(self):
+        q = EventQueue()
+        with pytest.raises(ConfigError):
+            SimCluster({}, SimNetwork(q), q)
+
+    def test_rejects_bad_tick(self):
+        sim, servers = build_omni_cluster(3)
+        q = EventQueue()
+        with pytest.raises(ConfigError):
+            SimCluster({1: servers[1]}, SimNetwork(q), q, tick_ms=0)
+
+    def test_unknown_pid_operations(self):
+        sim, _servers = build_omni_cluster(3)
+        with pytest.raises(ConfigError):
+            sim.propose(99, cmd(0))
+        with pytest.raises(ConfigError):
+            sim.crash(99)
+
+    def test_propose_at_crashed_server_rejected(self):
+        sim, _servers = build_omni_cluster(3, initial_leader=1)
+        sim.crash(1)
+        with pytest.raises(ConfigError):
+            sim.propose(1, cmd(0))
+
+    def test_duplicate_add_replica_rejected(self):
+        sim, servers = build_omni_cluster(3)
+        with pytest.raises(ConfigError):
+            sim.add_replica(1, servers[1])
+
+
+class TestDriving:
+    def test_now_advances(self):
+        sim, _servers = build_omni_cluster(3)
+        sim.run_for(123.0)
+        assert sim.now == pytest.approx(123.0)
+
+    def test_crashed_replicas_not_ticked(self):
+        sim, servers = build_omni_cluster(3, initial_leader=1)
+        sim.run_for(100)
+        sim.crash(2)
+        rounds_before = servers[2].ble_of_current().stats.rounds
+        sim.run_for(500)
+        assert servers[2].ble_of_current().stats.rounds == rounds_before
+
+    def test_recover_unknown_is_noop(self):
+        sim, _servers = build_omni_cluster(3)
+        sim.recover(1)  # never crashed: no-op
+
+    def test_leaders_excludes_crashed(self):
+        sim, _servers = build_omni_cluster(3, initial_leader=1)
+        sim.run_for(100)
+        sim.crash(1)
+        assert 1 not in sim.leaders()
+
+    def test_decided_observer_sees_every_server(self):
+        sim, _servers = build_omni_cluster(3, initial_leader=1)
+        sim.run_for(100)
+        seen = []
+        sim.on_decided(lambda pid, idx, e, now: seen.append(pid))
+        sim.propose(1, cmd(0))
+        sim.run_for(100)
+        assert sorted(set(seen)) == [1, 2, 3]
+
+    def test_pids_sorted(self):
+        sim, _servers = build_omni_cluster(5)
+        assert sim.pids == (1, 2, 3, 4, 5)

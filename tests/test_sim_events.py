@@ -1,0 +1,98 @@
+"""Unit tests for the event queue and virtual clock."""
+
+import pytest
+
+from repro.sim.events import EventQueue, SimulationLimitError
+
+
+class TestEventQueue:
+    def test_starts_at_zero(self):
+        assert EventQueue().now == 0.0
+
+    def test_runs_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.schedule(5.0, lambda: order.append("b"))
+        q.schedule(1.0, lambda: order.append("a"))
+        q.schedule(9.0, lambda: order.append("c"))
+        q.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_within_same_timestamp(self):
+        q = EventQueue()
+        order = []
+        for i in range(5):
+            q.schedule(1.0, lambda i=i: order.append(i))
+        q.run_until(1.0)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_run_until_stops_at_boundary(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(5.0, lambda: fired.append(5))
+        q.schedule(10.1, lambda: fired.append(10))
+        q.run_until(10.0)
+        assert fired == [5]
+        assert q.now == 10.0
+
+    def test_clock_lands_exactly_on_until(self):
+        q = EventQueue()
+        q.run_until(42.0)
+        assert q.now == 42.0
+
+    def test_run_for_is_relative(self):
+        q = EventQueue()
+        q.run_until(10.0)
+        q.run_for(5.0)
+        assert q.now == 15.0
+
+    def test_schedule_in(self):
+        q = EventQueue()
+        fired = []
+        q.run_until(10.0)
+        q.schedule_in(5.0, lambda: fired.append(q.now))
+        q.run_for(5.0)
+        assert fired == [15.0]
+
+    def test_past_events_clamped_to_now(self):
+        q = EventQueue()
+        q.run_until(10.0)
+        fired = []
+        q.schedule(1.0, lambda: fired.append(q.now))
+        q.run_for(0.0)
+        assert fired == [10.0]
+
+    def test_events_scheduled_during_run_execute(self):
+        q = EventQueue()
+        fired = []
+
+        def cascade():
+            fired.append("first")
+            q.schedule_in(1.0, lambda: fired.append("second"))
+
+        q.schedule(1.0, cascade)
+        q.run_until(5.0)
+        assert fired == ["first", "second"]
+
+    def test_processed_counter(self):
+        q = EventQueue()
+        for i in range(3):
+            q.schedule(float(i), lambda: None)
+        q.run_until(10.0)
+        assert q.processed == 3
+
+    def test_event_budget_enforced(self):
+        q = EventQueue(max_events=10)
+
+        def forever():
+            q.schedule_in(1.0, forever)
+
+        q.schedule(0.0, forever)
+        with pytest.raises(SimulationLimitError):
+            q.run_until(1e9)
+
+    def test_len_reports_pending(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        assert len(q) == 2

@@ -1,0 +1,245 @@
+"""Tests for snapshot-based log compaction.
+
+With a configured snapshotter, a leader may trim up to its *own* decided
+index — beyond what stragglers have decided — because any server that later
+needs the compacted prefix receives the snapshot instead (in AcceptSync or
+even in a Promise when the leadership flips the other way).
+"""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.omni.entry import Command, SnapshotInstalled
+from repro.omni.messages import AcceptSync, Promise
+from repro.omni.sequence_paxos import SequencePaxos, SequencePaxosConfig
+from repro.omni.storage import FileStorage, InMemoryStorage
+from repro.kv.store import (
+    KVCommand,
+    KVStateMachine,
+    encode_command,
+    kv_snapshotter,
+)
+
+from tests.test_sequence_paxos import Shuttle, cmd
+
+
+def counting_snapshotter(entries, prev_state):
+    """Toy deterministic fold: count entries and remember the last seq."""
+    base = prev_state or {"count": 0, "last": None}
+    count = base["count"] + len(entries)
+    last = entries[-1].seq if entries else base["last"]
+    return {"count": count, "last": last}
+
+
+def make_snap_sp(pid, n=3, storage=None):
+    peers = tuple(p for p in range(1, n + 1) if p != pid)
+    return SequencePaxos(
+        SequencePaxosConfig(pid=pid, peers=peers,
+                            snapshotter=counting_snapshotter),
+        storage if storage is not None else InMemoryStorage(),
+    )
+
+
+def snap_trio():
+    nodes = {pid: make_snap_sp(pid) for pid in (1, 2, 3)}
+    return nodes, Shuttle(nodes)
+
+
+class TestStorageSnapshots:
+    @pytest.fixture(params=["memory", "file"])
+    def storage(self, request, tmp_path):
+        if request.param == "memory":
+            yield InMemoryStorage()
+        else:
+            backend = FileStorage(str(tmp_path / "s.wal"))
+            yield backend
+            backend.close()
+
+    def test_set_get_snapshot(self, storage):
+        storage.set_snapshot({"x": 1}, 5)
+        assert storage.get_snapshot() == ({"x": 1}, 5)
+
+    def test_install_beyond_log_resets(self, storage):
+        storage.append_entries(list("ab"))
+        storage.install_snapshot({"s": True}, 10)
+        assert storage.log_len() == 10
+        assert storage.compacted_idx() == 10
+        assert storage.get_decided_idx() == 10
+        assert storage.get_snapshot() == ({"s": True}, 10)
+
+    def test_install_mid_log_keeps_tail(self, storage):
+        storage.append_entries(list("abcde"))
+        storage.install_snapshot({"s": True}, 3)
+        assert storage.log_len() == 5
+        assert storage.compacted_idx() == 3
+        assert storage.get_entries(3, 5) == ("d", "e")
+
+    def test_install_below_compaction_noop(self, storage):
+        storage.append_entries(list("abcd"))
+        storage.set_decided_idx(4)
+        storage.compact_prefix(4)
+        storage.install_snapshot({"old": True}, 2)
+        assert storage.compacted_idx() == 4
+        assert storage.get_snapshot() == ({"old": True}, 2)
+
+    def test_file_snapshot_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "snap.wal")
+        first = FileStorage(path)
+        first.append_entries(list("ab"))
+        first.install_snapshot({"k": "v"}, 7)
+        first.append_entry("c")
+        first.close()
+        second = FileStorage(path)
+        assert second.get_snapshot() == ({"k": "v"}, 7)
+        assert second.log_len() == 8
+        assert second.get_entry(7) == "c"
+        second.close()
+
+
+class TestSnapshotTrim:
+    def replicated(self, count=6):
+        nodes, net = snap_trio()
+        net.elect(1)
+        for i in range(count):
+            nodes[1].propose(cmd(i))
+        net.deliver_all()
+        return nodes, net
+
+    def test_trim_folds_into_snapshot(self):
+        nodes, net = self.replicated()
+        nodes[1].trim()
+        net.deliver_all()
+        for node in nodes.values():
+            state, covers = node.storage.get_snapshot()
+            assert covers == 6
+            assert state["count"] == 6
+            assert state["last"] == 5
+
+    def test_trim_beyond_straggler_allowed_with_snapshotter(self):
+        """The headline: trim past a partitioned follower's decided index."""
+        nodes, net = snap_trio()
+        net.cut(1, 3)
+        net.elect(1)
+        for i in range(4):
+            nodes[1].propose(cmd(i))
+        net.deliver_all()
+        assert nodes[3].decided_idx == 0
+        trimmed = nodes[1].trim()  # would raise without a snapshotter
+        assert trimmed == 4
+        assert nodes[1].compacted_idx == 4
+
+    def test_straggler_syncs_via_snapshot(self):
+        nodes, net = snap_trio()
+        net.cut(1, 3)
+        net.elect(1)
+        for i in range(4):
+            nodes[1].propose(cmd(i))
+        net.deliver_all()
+        nodes[1].trim()
+        net.deliver_all()
+        # Heal: the straggler re-promises; the leader ships the snapshot.
+        net.down.clear()
+        nodes[3].reconnected(1)
+        net.deliver_all()
+        assert nodes[3].decided_idx == 4
+        state, covers = nodes[3].storage.get_snapshot()
+        assert covers == 4 and state["count"] == 4
+        decided = nodes[3].take_decided()
+        assert decided and isinstance(decided[0][1], SnapshotInstalled)
+        assert decided[0][0] == 4  # marker covers [0, 4)
+
+    def test_progress_continues_after_snapshot_sync(self):
+        nodes, net = snap_trio()
+        net.cut(1, 3)
+        net.elect(1)
+        for i in range(4):
+            nodes[1].propose(cmd(i))
+        net.deliver_all()
+        nodes[1].trim()
+        net.down.clear()
+        nodes[3].reconnected(1)
+        net.deliver_all()
+        nodes[1].propose(cmd(99))
+        net.deliver_all()
+        assert nodes[3].decided_idx == 5
+        assert nodes[3].storage.get_entry(4).seq == 99
+
+    def test_new_leader_adopts_snapshot_from_promise(self):
+        """Leadership flips to a server that is *behind the compaction
+        point*: the Promise carries the snapshot the other way."""
+        nodes, net = snap_trio()
+        net.cut(1, 3)
+        net.elect(1)
+        for i in range(4):
+            nodes[1].propose(cmd(i))
+        net.deliver_all()
+        nodes[1].trim()
+        net.deliver_all()
+        # 3 (empty, decided 0) becomes leader of a higher round with full
+        # connectivity: it must adopt 1's snapshot + suffix in Prepare.
+        net.down.clear()
+        net.cut(2, 3)  # force the majority to be {1, 3}
+        net.elect(3, n=2)
+        net.deliver_all()
+        assert nodes[3].decided_idx >= 4
+        state, covers = nodes[3].storage.get_snapshot()
+        assert covers == 4 and state["count"] == 4
+        decided = nodes[3].take_decided()
+        assert any(isinstance(e, SnapshotInstalled) for _i, e in decided)
+
+    def test_take_decided_mixed_marker_and_entries(self):
+        nodes, net = snap_trio()
+        net.cut(1, 3)
+        net.elect(1)
+        for i in range(4):
+            nodes[1].propose(cmd(i))
+        net.deliver_all()
+        nodes[1].trim()
+        net.down.clear()
+        nodes[3].reconnected(1)
+        net.deliver_all()
+        nodes[1].propose(cmd(50))
+        net.deliver_all()
+        out = nodes[3].take_decided()
+        assert isinstance(out[0][1], SnapshotInstalled)
+        assert out[-1][1].seq == 50
+
+
+class TestKVSnapshotter:
+    def test_fold_matches_replay(self):
+        cmds = [
+            encode_command(KVCommand("put", "a", "1"), 1, 0),
+            encode_command(KVCommand("put", "b", "2"), 1, 1),
+            encode_command(KVCommand("delete", "a"), 1, 2),
+        ]
+        state = kv_snapshotter(cmds, None)
+        machine = KVStateMachine()
+        for i, entry in enumerate(cmds):
+            machine.apply(entry, i)
+        assert state["data"] == machine.snapshot()
+
+    def test_incremental_fold(self):
+        first = [encode_command(KVCommand("put", "a", "1"), 1, 0)]
+        second = [encode_command(KVCommand("put", "a", "2"), 1, 1)]
+        state1 = kv_snapshotter(first, None)
+        state2 = kv_snapshotter(second, state1)
+        assert state2["data"] == {"a": "2"}
+
+    def test_restore_roundtrip(self):
+        machine = KVStateMachine()
+        machine.apply(encode_command(KVCommand("put", "k", "v"), 1, 0), 0)
+        clone = KVStateMachine()
+        clone.restore(machine.to_snapshot())
+        assert clone.snapshot() == machine.snapshot()
+        # Session table restored too: the duplicate is still deduped.
+        assert clone.apply(
+            encode_command(KVCommand("put", "k", "x"), 1, 0), 1) is None
+
+    def test_sessions_preserved_across_fold(self):
+        cmds = [encode_command(KVCommand("put", "a", "1"), 7, 3)]
+        state = kv_snapshotter(cmds, None)
+        machine = KVStateMachine()
+        machine.restore(state)
+        dup = machine.apply(encode_command(KVCommand("put", "a", "9"), 7, 3), 0)
+        assert dup is None
+        assert machine.lookup("a") == "1"

@@ -1,0 +1,152 @@
+"""Unit tests for the storage backends: logs, variables, durability."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.omni.ballot import BOTTOM, Ballot
+from repro.omni.entry import Command
+from repro.omni.storage import FileStorage, InMemoryStorage, snapshot_state
+
+
+@pytest.fixture(params=["memory", "file"])
+def storage(request, tmp_path):
+    if request.param == "memory":
+        yield InMemoryStorage()
+    else:
+        backend = FileStorage(str(tmp_path / "wal.bin"))
+        yield backend
+        backend.close()
+
+
+class TestLogOperations:
+    def test_starts_empty(self, storage):
+        assert storage.log_len() == 0
+        assert storage.get_suffix(0) == ()
+
+    def test_append_entry_returns_length(self, storage):
+        assert storage.append_entry("a") == 1
+        assert storage.append_entry("b") == 2
+
+    def test_append_entries_batch(self, storage):
+        assert storage.append_entries(["a", "b", "c"]) == 3
+        assert storage.get_entries(0, 3) == ("a", "b", "c")
+
+    def test_get_entries_clamps_bounds(self, storage):
+        storage.append_entries(["a", "b"])
+        assert storage.get_entries(-5, 100) == ("a", "b")
+        assert storage.get_entries(1, 1) == ()
+
+    def test_get_suffix(self, storage):
+        storage.append_entries(["a", "b", "c"])
+        assert storage.get_suffix(1) == ("b", "c")
+        assert storage.get_suffix(3) == ()
+
+    def test_get_entry_in_range(self, storage):
+        storage.append_entries(["a", "b"])
+        assert storage.get_entry(1) == "b"
+
+    def test_get_entry_out_of_range_raises(self, storage):
+        with pytest.raises(StorageError):
+            storage.get_entry(0)
+
+    def test_truncate_suffix(self, storage):
+        storage.append_entries(["a", "b", "c"])
+        storage.truncate_suffix(1)
+        assert storage.get_entries(0, 10) == ("a",)
+
+    def test_truncate_noop_beyond_end(self, storage):
+        storage.append_entries(["a"])
+        storage.truncate_suffix(5)
+        assert storage.log_len() == 1
+
+    def test_truncate_below_decided_refused(self, storage):
+        storage.append_entries(["a", "b", "c"])
+        storage.set_decided_idx(2)
+        with pytest.raises(StorageError):
+            storage.truncate_suffix(1)
+
+    def test_truncate_at_decided_allowed(self, storage):
+        storage.append_entries(["a", "b", "c"])
+        storage.set_decided_idx(2)
+        storage.truncate_suffix(2)
+        assert storage.log_len() == 2
+
+
+class TestVariables:
+    def test_defaults(self, storage):
+        assert storage.get_promise() == BOTTOM
+        assert storage.get_accepted_round() == BOTTOM
+        assert storage.get_decided_idx() == 0
+
+    def test_promise_roundtrip(self, storage):
+        storage.set_promise(Ballot(3, 1, 2))
+        assert storage.get_promise() == Ballot(3, 1, 2)
+
+    def test_accepted_round_roundtrip(self, storage):
+        storage.set_accepted_round(Ballot(2, 0, 1))
+        assert storage.get_accepted_round() == Ballot(2, 0, 1)
+
+    def test_decided_idx_monotone(self, storage):
+        storage.append_entries(["a", "b"])
+        storage.set_decided_idx(2)
+        with pytest.raises(StorageError):
+            storage.set_decided_idx(1)
+
+    def test_snapshot_state(self, storage):
+        storage.append_entries(["a"])
+        state = snapshot_state(storage)
+        assert state["log_len"] == 1
+        assert state["decided_idx"] == 0
+
+
+class TestFileDurability:
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "wal.bin")
+        first = FileStorage(path)
+        first.append_entries([Command(b"x"), Command(b"y")])
+        first.set_promise(Ballot(4, 0, 2))
+        first.set_accepted_round(Ballot(4, 0, 2))
+        first.set_decided_idx(1)
+        first.close()
+        second = FileStorage(path)
+        assert second.log_len() == 2
+        assert second.get_promise() == Ballot(4, 0, 2)
+        assert second.get_accepted_round() == Ballot(4, 0, 2)
+        assert second.get_decided_idx() == 1
+        second.close()
+
+    def test_truncation_replays(self, tmp_path):
+        path = str(tmp_path / "wal.bin")
+        first = FileStorage(path)
+        first.append_entries(["a", "b", "c"])
+        first.truncate_suffix(1)
+        first.append_entry("d")
+        first.close()
+        second = FileStorage(path)
+        assert second.get_entries(0, 10) == ("a", "d")
+        second.close()
+
+    def test_torn_final_record_is_discarded(self, tmp_path):
+        path = str(tmp_path / "wal.bin")
+        first = FileStorage(path)
+        first.append_entries(["a", "b"])
+        first.close()
+        # Simulate a crash mid-write: append garbage half-record.
+        with open(path, "ab") as f:
+            f.write(b"\x00\x00\x10\x00partial")
+        second = FileStorage(path)
+        assert second.get_entries(0, 10) == ("a", "b")
+        second.close()
+
+    def test_fsync_mode_writes(self, tmp_path):
+        path = str(tmp_path / "wal.bin")
+        backend = FileStorage(path, sync=True)
+        backend.append_entry("a")
+        backend.close()
+        assert os.path.getsize(path) > 0
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises((StorageError, OSError)):
+            FileStorage(str(tmp_path / "nope" / "wal.bin"))

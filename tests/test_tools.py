@@ -1,0 +1,69 @@
+"""Tests for the CLI experiment runners."""
+
+import pytest
+
+from repro.tools import reconfig, scenario, throughput
+
+
+class TestScenarioCLI:
+    def test_runs_and_reports(self, capsys):
+        rc = scenario.main([
+            "--protocol", "omni", "--scenario", "chained",
+            "--duration-ms", "2000", "--seeds", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "recovered" in out
+        assert "election timeouts" in out
+
+    def test_deadlock_reported(self, capsys):
+        rc = scenario.main([
+            "--protocol", "vr", "--scenario", "quorum_loss",
+            "--duration-ms", "2000", "--seeds", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0  # consistent verdict across seeds
+        assert "UNAVAILABLE" in out
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            scenario.build_parser().parse_args(["--protocol", "zab"])
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            scenario.build_parser().parse_args(["--scenario", "meteor"])
+
+
+class TestThroughputCLI:
+    def test_lan_run(self, capsys):
+        rc = throughput.main([
+            "--protocol", "omni", "--cp", "16", "--duration-ms", "1000",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "throughput" in out
+
+    def test_wan_flag(self, capsys):
+        rc = throughput.main([
+            "--protocol", "multipaxos", "--cp", "16", "--wan",
+            "--duration-ms", "2000",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "net=wan" in out
+
+
+class TestReconfigCLI:
+    def test_quick_run(self, capsys):
+        rc = reconfig.main([
+            "--protocol", "omni", "--replace", "one",
+            "--preload", "20000", "--run-ms", "8000",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "completed" in out
+        assert "windows" in out
+
+    def test_rejects_vr(self):
+        with pytest.raises(SystemExit):
+            reconfig.build_parser().parse_args(["--protocol", "vr"])

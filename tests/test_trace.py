@@ -1,0 +1,95 @@
+"""Tests for the message-tracing debug tool."""
+
+import pytest
+
+from repro.omni.entry import Command
+from repro.sim.trace import MessageTrace
+
+from tests.conftest import build_omni_cluster, run_until_leader
+
+
+def traced_cluster():
+    sim, servers = build_omni_cluster(3)
+    trace = MessageTrace.attach(sim.network, capacity=50_000)
+    leader = run_until_leader(sim)
+    return sim, servers, trace, leader
+
+
+class TestRecording:
+    def test_records_protocol_traffic(self):
+        sim, _servers, trace, leader = traced_cluster()
+        assert len(trace) > 0
+        kinds = trace.counts_by_type()
+        assert kinds["HeartbeatRequest"] > 0
+        assert kinds["Prepare"] >= 2
+
+    def test_accept_traffic_visible(self):
+        sim, _servers, trace, leader = traced_cluster()
+        sim.run_for(100)  # let the leader finish its Prepare phase
+        sim.propose(leader, Command(b"x", client_id=1, seq=0))
+        sim.run_for(50)
+        assert trace.counts_by_type()["AcceptDecide"] >= 2
+
+    def test_ring_buffer_bounded(self):
+        sim, _servers = build_omni_cluster(3)
+        trace = MessageTrace.attach(sim.network, capacity=10)
+        sim.run_for(2_000)
+        assert len(trace) == 10
+
+    def test_pause_resume(self):
+        sim, _servers, trace, leader = traced_cluster()
+        trace.pause()
+        before = len(trace)
+        sim.run_for(200)
+        assert len(trace) == before
+        trace.resume()
+        sim.run_for(200)
+        assert len(trace) > before
+
+
+class TestFiltering:
+    def test_filter_by_type(self):
+        sim, _servers, trace, leader = traced_cluster()
+        only = trace.events(types=("Prepare",))
+        assert only
+        assert all(e.kind == "Prepare" for e in only)
+
+    def test_filter_by_src_dst(self):
+        sim, _servers, trace, leader = traced_cluster()
+        sent = trace.events(src=leader)
+        assert sent and all(e.src == leader for e in sent)
+        received = trace.events(dst=leader)
+        assert received and all(e.dst == leader for e in received)
+
+    def test_filter_involving(self):
+        sim, _servers, trace, leader = traced_cluster()
+        both = trace.events(involving=leader)
+        assert all(leader in (e.src, e.dst) for e in both)
+
+    def test_filter_time_window(self):
+        sim, _servers, trace, leader = traced_cluster()
+        now = sim.now
+        sim.run_for(500)
+        windowed = trace.events(between=(now, now + 500))
+        assert windowed
+        assert all(now <= e.at_ms < now + 500 for e in windowed)
+
+
+class TestRendering:
+    def test_render_produces_lines(self):
+        sim, _servers, trace, leader = traced_cluster()
+        text = trace.render(limit=5)
+        assert len(text.splitlines()) == 5
+        assert "->" in text
+
+    def test_render_empty_filter(self):
+        sim, _servers, trace, leader = traced_cluster()
+        assert trace.render(types=("Nonexistent",)) == "(no matching events)"
+
+    def test_detail_includes_fields(self):
+        sim, _servers, trace, leader = traced_cluster()
+        sim.run_for(100)  # let the leader finish its Prepare phase
+        sim.propose(leader, Command(b"x", client_id=1, seq=0))
+        sim.run_for(50)
+        accepts = trace.events(types=("AcceptDecide",))
+        assert "|entries|=1" in accepts[0].detail

@@ -1,0 +1,207 @@
+"""Unit and cluster tests for the VR baseline (view changes + EQC)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.baselines.vr import (
+    DoViewChange,
+    StartView,
+    StartViewChange,
+    VRConfig,
+    VRPing,
+    VRReplica,
+    VRStatus,
+)
+from repro.omni.entry import Command
+from repro.sim.cluster import SimCluster
+from repro.sim.events import EventQueue
+from repro.sim.network import NetworkParams, SimNetwork
+
+T = 100.0
+
+
+def cmd(i: int) -> Command:
+    return Command(data=b"x", client_id=1, seq=i)
+
+
+def build_vr_cluster(n=3, initial_leader=None):
+    pids = tuple(range(1, n + 1))
+    queue = EventQueue()
+    net = SimNetwork(queue, NetworkParams(one_way_ms=0.1))
+    replicas = {
+        pid: VRReplica(VRConfig(
+            pid=pid, servers=pids, election_timeout_ms=T,
+            initial_leader=initial_leader,
+        ))
+        for pid in pids
+    }
+    sim = SimCluster(replicas, net, queue, tick_ms=5.0)
+    sim.start()
+    return sim, replicas
+
+
+def wait_leader(sim, max_ms=10_000.0):
+    elapsed = 0.0
+    while elapsed < max_ms:
+        sim.run_for(50.0)
+        elapsed += 50.0
+        leaders = sim.leaders()
+        if leaders:
+            return leaders[0]
+    raise AssertionError("no VR leader")
+
+
+class TestConfig:
+    def test_pid_must_be_member(self):
+        with pytest.raises(ConfigError):
+            VRConfig(pid=9, servers=(1, 2, 3))
+
+    def test_round_robin_primary(self):
+        cfg = VRConfig(pid=1, servers=(1, 2, 3))
+        assert [cfg.leader_of(v) for v in (0, 1, 2, 3)] == [1, 2, 3, 1]
+
+    def test_majority(self):
+        assert VRConfig(pid=1, servers=(1, 2, 3)).majority == 2
+
+
+class TestViewChanges:
+    def test_initial_election_via_view_change(self):
+        sim, reps = build_vr_cluster(3)
+        leader = wait_leader(sim)
+        assert reps[leader].is_leader
+
+    def test_seeded_leader(self):
+        sim, reps = build_vr_cluster(3, initial_leader=2)
+        sim.run_for(100)
+        assert sim.leaders() == [2]
+
+    def test_crashed_primary_replaced_round_robin(self):
+        sim, reps = build_vr_cluster(3, initial_leader=2)
+        sim.run_for(300)
+        sim.crash(2)
+        leader = wait_leader(sim)
+        assert leader != 2
+        # Views advance; the new primary matches the round-robin schedule.
+        view = reps[leader].view
+        assert reps[leader]._config.leader_of(view) == leader
+
+    def test_svc_gossip_joins_higher_view(self):
+        replica = VRReplica(VRConfig(pid=1, servers=(1, 2, 3),
+                                     election_timeout_ms=T))
+        replica.start(0.0)
+        replica.on_message(3, StartViewChange(7), 1.0)
+        assert replica.view == 7
+        assert replica.status is VRStatus.VIEW_CHANGE
+        out = replica.take_outbox()
+        assert sum(isinstance(m, StartViewChange) for _d, m in out) == 2
+
+    def test_lower_view_svc_ignored(self):
+        replica = VRReplica(VRConfig(pid=1, servers=(1, 2, 3),
+                                     election_timeout_ms=T))
+        replica.start(0.0)
+        replica.on_message(3, StartViewChange(7), 1.0)
+        replica.take_outbox()
+        replica.on_message(2, StartViewChange(3), 2.0)
+        assert replica.view == 7
+
+    def test_eqc_gate_blocks_minority(self):
+        """A replica that saw only its own SVC must NOT send DoViewChange —
+        the EQC requirement that deadlocks VR under partial connectivity."""
+        replica = VRReplica(VRConfig(pid=1, servers=(1, 2, 3, 4, 5),
+                                     election_timeout_ms=T))
+        replica.start(0.0)
+        replica.tick(2 * T + 1)  # suspect, initiate view change
+        out = replica.take_outbox()
+        assert not any(isinstance(m, DoViewChange) for _d, m in out)
+
+    def test_dvc_after_majority_svc(self):
+        replica = VRReplica(VRConfig(pid=1, servers=(1, 2, 3, 4, 5),
+                                     election_timeout_ms=T))
+        replica.start(0.0)
+        replica.tick(2 * T + 1)
+        replica.take_outbox()
+        replica.on_message(2, StartViewChange(replica.view), 1.0)
+        replica.on_message(3, StartViewChange(replica.view), 2.0)
+        out = replica.take_outbox()
+        dvc = [(d, m) for d, m in out if isinstance(m, DoViewChange)]
+        assert len(dvc) == 1
+        primary = replica._config.leader_of(replica.view)
+        assert dvc[0][0] == primary
+
+    def test_primary_needs_majority_dvc(self):
+        pids = (1, 2, 3, 4, 5)
+        primary = VRReplica(VRConfig(pid=2, servers=pids,
+                                     election_timeout_ms=T))
+        primary.start(0.0)
+        view = 6  # leader_of(6) = sorted[6 % 5] = 2
+        assert primary._config.leader_of(view) == 2
+        primary.on_message(3, DoViewChange(view), 1.0)
+        assert primary.status is VRStatus.VIEW_CHANGE
+        primary.on_message(4, DoViewChange(view), 2.0)
+        primary.on_message(5, DoViewChange(view), 3.0)
+        assert primary.status is VRStatus.NORMAL
+        assert primary.leader_pid == 2
+
+    def test_start_view_adopts(self):
+        replica = VRReplica(VRConfig(pid=1, servers=(1, 2, 3),
+                                     election_timeout_ms=T))
+        replica.start(0.0)
+        replica.on_message(3, StartView(5), 1.0)
+        assert replica.view == 5
+        assert replica.status is VRStatus.NORMAL
+        assert replica.leader_pid == 3
+
+    def test_stalled_view_change_advances(self):
+        replica = VRReplica(VRConfig(pid=1, servers=(1, 2, 3),
+                                     election_timeout_ms=T))
+        replica.start(0.0)
+        replica.tick(2 * T + 1)
+        v1 = replica.view
+        replica.tick(4 * T + 2)
+        assert replica.view == v1 + 1  # moved on to the next view
+
+    def test_ping_resets_timer(self):
+        replica = VRReplica(VRConfig(pid=1, servers=(1, 2, 3),
+                                     election_timeout_ms=T,
+                                     initial_leader=2))
+        replica.start(0.0)
+        replica.on_message(2, VRPing(replica.view), T * 0.9)
+        replica.tick(T * 1.5)
+        assert replica.status is VRStatus.NORMAL  # no suspicion
+
+
+class TestReplication:
+    def test_commands_decide_everywhere(self):
+        sim, reps = build_vr_cluster(3, initial_leader=1)
+        sim.run_for(300)
+        for i in range(10):
+            sim.propose(1, cmd(i))
+        sim.run_for(300)
+        for rep in reps.values():
+            assert rep.sequence_paxos.decided_idx == 10
+
+    def test_new_primary_syncs_log(self):
+        sim, reps = build_vr_cluster(3, initial_leader=1)
+        sim.run_for(300)
+        for i in range(5):
+            sim.propose(1, cmd(i))
+        sim.run_for(200)
+        sim.crash(1)
+        leader = wait_leader(sim)
+        sim.propose(leader, cmd(100))
+        sim.run_for(500)
+        survivors = [r for p, r in reps.items() if p != 1]
+        assert all(r.sequence_paxos.decided_idx == 6 for r in survivors)
+
+    def test_crash_recover_rejoins(self):
+        sim, reps = build_vr_cluster(3, initial_leader=1)
+        sim.run_for(300)
+        for i in range(5):
+            sim.propose(1, cmd(i))
+        sim.run_for(200)
+        sim.crash(3)
+        sim.propose(1, cmd(5))
+        sim.run_for(200)
+        sim.recover(3)
+        sim.run_for(1000)
+        assert reps[3].sequence_paxos.decided_idx == 6

@@ -1,0 +1,128 @@
+"""Additional VR edge cases: gossip cascades, view races, stale messages."""
+
+import pytest
+
+from repro.baselines.vr import (
+    DoViewChange,
+    StartView,
+    StartViewChange,
+    VRConfig,
+    VRReplica,
+    VRStatus,
+)
+from repro.omni.entry import Command
+
+from tests.test_vr import build_vr_cluster, cmd, wait_leader
+
+T = 100.0
+
+
+def make_vr(pid, servers=(1, 2, 3, 4, 5)):
+    replica = VRReplica(VRConfig(pid=pid, servers=servers,
+                                 election_timeout_ms=T))
+    replica.start(0.0)
+    replica.take_outbox()
+    return replica
+
+
+class TestGossipCascades:
+    def test_svc_gossip_propagates_transitively(self):
+        """A StartViewChange reaching one replica is re-broadcast — the
+        liveness hazard the paper describes becomes a two-hop cascade."""
+        a = make_vr(1)
+        a.on_message(3, StartViewChange(4), 1.0)
+        out = a.take_outbox()
+        targets = {d for d, m in out if isinstance(m, StartViewChange)}
+        assert targets == {2, 3, 4, 5}
+
+    def test_duplicate_svc_counted_once(self):
+        a = make_vr(1)
+        a.on_message(3, StartViewChange(4), 1.0)
+        a.take_outbox()
+        a.on_message(3, StartViewChange(4), 2.0)
+        a.on_message(3, StartViewChange(4), 3.0)
+        # Majority of 5 is 3; two distinct voices (3 and self) are not it.
+        out = a.take_outbox()
+        assert not any(isinstance(m, DoViewChange) for _d, m in out)
+
+    def test_exactly_majority_triggers_dvc(self):
+        a = make_vr(1)
+        a.on_message(3, StartViewChange(4), 1.0)
+        a.take_outbox()
+        a.on_message(2, StartViewChange(4), 2.0)
+        out = a.take_outbox()
+        dvcs = [(d, m) for d, m in out if isinstance(m, DoViewChange)]
+        assert len(dvcs) == 1
+        assert dvcs[0][0] == a._config.leader_of(4)
+
+    def test_dvc_not_resent(self):
+        a = make_vr(1)
+        for src in (2, 3):
+            a.on_message(src, StartViewChange(4), 1.0)
+        a.take_outbox()
+        a.on_message(4, StartViewChange(4), 2.0)
+        out = a.take_outbox()
+        assert not any(isinstance(m, DoViewChange) for _d, m in out)
+
+
+class TestViewRaces:
+    def test_higher_view_supersedes_in_flight_change(self):
+        a = make_vr(1)
+        a.on_message(3, StartViewChange(4), 1.0)
+        a.take_outbox()
+        a.on_message(2, StartViewChange(9), 2.0)
+        assert a.view == 9
+        assert a.status is VRStatus.VIEW_CHANGE
+
+    def test_stale_dvc_ignored(self):
+        primary = make_vr(2)
+        primary.on_message(3, StartViewChange(11), 1.0)  # join view 11
+        primary.take_outbox()
+        primary.on_message(3, DoViewChange(6), 2.0)  # for an older view
+        assert primary.status is VRStatus.VIEW_CHANGE
+        assert primary.view == 11
+
+    def test_stale_start_view_ignored(self):
+        a = make_vr(1)
+        a.on_message(2, StartView(6), 1.0)
+        a.on_message(3, StartView(4), 2.0)
+        assert a.view == 6
+        assert a.leader_pid == a._config.leader_of(6)
+
+    def test_dvc_for_higher_view_joins_it(self):
+        primary = make_vr(2)
+        view = 6  # leader_of(6) == 2 in a 5-server cluster
+        assert primary._config.leader_of(view) == 2
+        primary.on_message(3, DoViewChange(view), 1.0)
+        assert primary.view == view
+        assert primary.status is VRStatus.VIEW_CHANGE
+
+
+class TestClusterBehaviour:
+    def test_round_robin_skips_dead_primaries(self):
+        """Successive crashes walk the view schedule forward."""
+        sim, reps = build_vr_cluster(5, initial_leader=1)
+        sim.run_for(300)
+        first = wait_leader(sim)
+        sim.crash(first)
+        second = wait_leader(sim)
+        assert second != first
+        sim.crash(second)
+        third = wait_leader(sim)
+        assert third not in (first, second)
+
+    def test_replication_survives_two_view_changes(self):
+        sim, reps = build_vr_cluster(5, initial_leader=1)
+        sim.run_for(300)
+        sim.propose(1, cmd(0))
+        sim.run_for(100)
+        sim.crash(1)
+        second = wait_leader(sim)
+        sim.propose(second, cmd(1))
+        sim.run_for(100)
+        sim.crash(second)
+        third = wait_leader(sim)
+        sim.propose(third, cmd(2))
+        sim.run_for(300)
+        alive = [r for p, r in reps.items() if p not in (1, second)]
+        assert all(r.sequence_paxos.decided_idx == 3 for r in alive)

@@ -1,0 +1,88 @@
+"""WAN-setting behaviour (Figure 7's geo-distributed deployment).
+
+In the paper's WAN setup the leader sits in us-central1 with followers in
+eu-west1 (RTT 105 ms) and asia-northeast1 (RTT 145 ms). Commit latency is
+governed by the round trip to the *nearest majority*, and elections still
+work across high-latency links as long as the heartbeat period exceeds the
+RTT.
+"""
+
+import pytest
+
+from repro.sim.harness import ExperimentConfig, build_experiment, wan_latency_map
+
+
+def build_wan(protocol="omni", n=3, timeout=500.0, seed=1):
+    servers = tuple(range(1, n + 1))
+    leader = n
+    cfg = ExperimentConfig(
+        protocol=protocol,
+        num_servers=n,
+        election_timeout_ms=timeout,
+        latency_map=wan_latency_map(servers, leader),
+        seed=seed,
+        initial_leader=leader,
+        tick_ms=1.0,
+    )
+    return build_experiment(cfg), leader
+
+
+class TestWanCommitLatency:
+    def test_commit_waits_for_nearest_majority(self):
+        """With followers at one-way 52.5 and 72.5 ms, a 3-server commit
+        completes after the *faster* follower's round trip (~105 ms), not
+        the slower one's."""
+        exp, leader = build_wan(n=3)
+        client = exp.make_client(concurrent_proposals=1)
+        exp.cluster.run_for(5_000)
+        pct = client.latency_percentiles()
+        # One-way 52.5 -> RTT 105 ms; allow client-tick quantization; the
+        # p50 must sit well below the slow follower's 145 ms RTT.
+        assert 100.0 <= pct["p50"] <= 130.0
+
+    def test_five_server_wan_same_majority_latency(self):
+        """With two followers per zone, the majority (leader + two nearest)
+        still completes at the fast zone's RTT."""
+        exp, leader = build_wan(n=5)
+        client = exp.make_client(concurrent_proposals=1)
+        exp.cluster.run_for(5_000)
+        pct = client.latency_percentiles()
+        assert 100.0 <= pct["p50"] <= 130.0
+
+    @pytest.mark.parametrize("protocol", ("omni", "raft", "multipaxos"))
+    def test_all_protocols_commit_over_wan(self, protocol):
+        exp, leader = build_wan(protocol=protocol)
+        client = exp.make_client(concurrent_proposals=8)
+        exp.cluster.run_for(5_000)
+        assert client.decided_count > 0
+
+
+class TestWanElections:
+    def test_election_succeeds_across_wan(self):
+        """A leader crash in the WAN setting re-elects despite >100 ms RTTs
+        (the heartbeat period of 500 ms dominates)."""
+        exp, leader = build_wan(n=3)
+        exp.cluster.run_for(2_000)
+        exp.cluster.crash(leader)
+        elapsed = 0.0
+        new_leader = None
+        while elapsed < 20_000:
+            exp.cluster.run_for(250)
+            elapsed += 250
+            leaders = [p for p in exp.cluster.leaders() if p != leader]
+            if leaders:
+                new_leader = leaders[0]
+                break
+        assert new_leader is not None
+        client = exp.make_client(concurrent_proposals=4)
+        exp.cluster.run_for(3_000)
+        assert client.decided_count > 0
+
+    def test_heartbeat_period_must_exceed_rtt(self):
+        """With a heartbeat period *below* the WAN round trip, replies never
+        arrive inside their round and no server sees a quorum — the classic
+        mis-configured-timeout failure, visible and diagnosable."""
+        exp, leader = build_wan(n=3, timeout=50.0)  # < 105 ms RTT
+        exp.cluster.run_for(3_000)
+        ble = exp.cluster.replica(leader).ble_of_current()
+        assert not ble.quorum_heard_within(exp.cluster.now, 200.0)
