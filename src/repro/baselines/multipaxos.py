@@ -34,6 +34,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigError, NotLeaderError
+from repro.obs.events import BallotElected, RoleChanged
+from repro.obs.registry import Instrumented
 from repro.omni.entry import entry_wire_size
 from repro.replica import Replica
 from repro.util.rng import spawn_rng
@@ -173,7 +175,7 @@ class MultiPaxosStats:
     leader_changes: int = 0
 
 
-class MultiPaxosReplica(Replica):
+class MultiPaxosReplica(Replica, Instrumented):
     """One Multi-Paxos server (proposer + acceptor + learner)."""
 
     def __init__(self, config: MultiPaxosConfig):
@@ -249,8 +251,11 @@ class MultiPaxosReplica(Replica):
             self._ballot = (1, self.pid)
             self._max_ballot_seen = self._ballot
             self._promised = self._ballot
-            self._role = MPRole.LEADER
+            self._set_role(MPRole.LEADER)
             self.stats.leader_changes += 1
+            if self._obs.enabled:
+                self._obs.emit(BallotElected(pid=self.pid, leader=self.pid,
+                                             ballot=self._ballot[0]))
 
     def tick(self, now_ms: float) -> None:
         if self._crashed or not self._started:
@@ -315,6 +320,9 @@ class MultiPaxosReplica(Replica):
 
     def take_decided(self) -> List[Tuple[int, Any]]:
         out, self._decided_out = self._decided_out, []
+        if out and self._obs.enabled:
+            self._obs.counter("repro_decided_entries_total",
+                              pid=self.pid).inc(len(out))
         return out
 
     # ------------------------------------------------------------------
@@ -329,7 +337,7 @@ class MultiPaxosReplica(Replica):
         if not self._crashed:
             return
         self._crashed = False
-        self._role = MPRole.FOLLOWER
+        self._set_role(MPRole.FOLLOWER)
         self._believed_leader = None
         self._last_pong = now_ms - self._config.election_timeout_ms
         self._next_ping = now_ms
@@ -338,6 +346,15 @@ class MultiPaxosReplica(Replica):
     # ------------------------------------------------------------------
     # internals: acceptor
     # ------------------------------------------------------------------
+
+    def _set_role(self, role: MPRole) -> None:
+        """Change role, emitting a :class:`RoleChanged` event on a flip."""
+        if role is self._role:
+            return
+        self._role = role
+        if self._obs.enabled:
+            self._obs.emit(RoleChanged(pid=self.pid, role=role.value,
+                                       protocol="multipaxos"))
 
     def _observe_ballot(self, ballot: Tuple[int, int]) -> None:
         if ballot > self._max_ballot_seen:
@@ -370,11 +387,14 @@ class MultiPaxosReplica(Replica):
             # An established leader's Phase 2 reached us: whatever candidacy
             # or leadership we held is over.
             self.stats.preemptions += 1
-            self._role = MPRole.FOLLOWER
+            self._set_role(MPRole.FOLLOWER)
         # The sender has established itself: adopt it as the leader we
         # monitor (this is the only place believed_leader changes).
         if src != self._believed_leader:
             self._believed_leader = src
+            if self._obs.enabled:
+                self._obs.emit(BallotElected(pid=self.pid, leader=src,
+                                             ballot=msg.ballot[0]))
         self._last_pong = now_ms
         for offset, value in enumerate(msg.values):
             self._accepted[msg.first_slot + offset] = (msg.ballot, value)
@@ -394,7 +414,7 @@ class MultiPaxosReplica(Replica):
     # ------------------------------------------------------------------
 
     def _campaign(self, now_ms: float) -> None:
-        self._role = MPRole.CANDIDATE
+        self._set_role(MPRole.CANDIDATE)
         self.stats.campaigns += 1
         self._campaign_attempts += 1
         n = max(self._max_ballot_seen[0], self._ballot[0]) + 1
@@ -425,7 +445,7 @@ class MultiPaxosReplica(Replica):
         if self._role is MPRole.LEADER:
             # The preemptor established itself over a majority that includes
             # some acceptor we reach; step down and monitor it from now on.
-            self._role = MPRole.FOLLOWER
+            self._set_role(MPRole.FOLLOWER)
             self._believed_leader = by[1]
             self._last_pong = now_ms
         # A preempted *candidate* stays a contender: seeing a ballot is not
@@ -469,11 +489,14 @@ class MultiPaxosReplica(Replica):
                 self._log.append(self._accepted[slot][1])
             else:
                 self._log.append(NOOP)
-        self._role = MPRole.LEADER
+        self._set_role(MPRole.LEADER)
         self._believed_leader = self.pid
         self._campaign_attempts = 0
         self._acceptor_upto = {}
         self.stats.leader_changes += 1
+        if self._obs.enabled:
+            self._obs.emit(BallotElected(pid=self.pid, leader=self.pid,
+                                         ballot=self._ballot[0]))
         # Re-propose the whole undecided tail at our ballot.
         tail_from = min(self._decided_upto, decided)
         values = tuple(self._log[tail_from:])

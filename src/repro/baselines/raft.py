@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigError, NotLeaderError
+from repro.obs.events import BallotElected, RoleChanged
+from repro.obs.registry import Instrumented
 from repro.omni.entry import SnapshotInstalled, entry_wire_size
 from repro.replica import Replica
 from repro.util.rng import spawn_rng
@@ -290,7 +292,7 @@ class RaftStats:
 # the replica
 # --------------------------------------------------------------------------
 
-class RaftReplica(Replica):
+class RaftReplica(Replica, Instrumented):
     """One Raft server (sans-io)."""
 
     def __init__(self, config: RaftConfig):
@@ -396,7 +398,7 @@ class RaftReplica(Replica):
             if seed not in self._voters:
                 raise ConfigError("initial_leader must be a voter")
             self._term = 1
-            self._leader_id = seed
+            self._set_leader(seed)
             if seed == self.pid:
                 self._become_leader(now_ms)
 
@@ -500,6 +502,9 @@ class RaftReplica(Replica):
 
     def take_decided(self) -> List[Tuple[int, Any]]:
         out, self._decided_out = self._decided_out, []
+        if out and self._obs.enabled:
+            self._obs.counter("repro_decided_entries_total",
+                              pid=self.pid).inc(len(out))
         return out
 
     # ------------------------------------------------------------------
@@ -515,7 +520,7 @@ class RaftReplica(Replica):
         if not self._crashed:
             return
         self._crashed = False
-        self._role = RaftRole.FOLLOWER
+        self._set_role(RaftRole.FOLLOWER)
         self._leader_id = None
         self._commit_idx = 0
         self._applied_idx = 0
@@ -545,8 +550,26 @@ class RaftReplica(Replica):
         last = len(self._log)
         return last, self._log.term_at(last)
 
+    def _set_role(self, role: RaftRole) -> None:
+        """Change role, emitting a :class:`RoleChanged` event on a flip."""
+        if role is self._role:
+            return
+        self._role = role
+        if self._obs.enabled:
+            self._obs.emit(RoleChanged(pid=self.pid, role=role.value,
+                                       protocol="raft"))
+
+    def _set_leader(self, leader: Optional[int]) -> None:
+        """Adopt ``leader``, emitting :class:`BallotElected` on a change."""
+        if leader == self._leader_id:
+            return
+        self._leader_id = leader
+        if leader is not None and self._obs.enabled:
+            self._obs.emit(BallotElected(pid=self.pid, leader=leader,
+                                         ballot=self._term))
+
     def _start_prevote(self, now_ms: float) -> None:
-        self._role = RaftRole.PRECANDIDATE
+        self._set_role(RaftRole.PRECANDIDATE)
         self._prevotes = {self.pid}
         self.stats.prevotes_started += 1
         self._reset_election_deadline(now_ms)
@@ -558,7 +581,7 @@ class RaftReplica(Replica):
             self._start_election(now_ms)
 
     def _start_election(self, now_ms: float) -> None:
-        self._role = RaftRole.CANDIDATE
+        self._set_role(RaftRole.CANDIDATE)
         self._term += 1
         self.stats.max_term_seen = max(self.stats.max_term_seen, self._term)
         self._voted_for = self.pid
@@ -642,8 +665,8 @@ class RaftReplica(Replica):
                 self._become_leader(now_ms)
 
     def _become_leader(self, now_ms: float) -> None:
-        self._role = RaftRole.LEADER
-        self._leader_id = self.pid
+        self._set_role(RaftRole.LEADER)
+        self._set_leader(self.pid)
         self.stats.leader_changes += 1
         self._next_idx = {p: len(self._log) for p in self._replication_targets}
         self._match_idx = {p: 0 for p in self._replication_targets}
@@ -658,8 +681,8 @@ class RaftReplica(Replica):
             self._term = term
             self._voted_for = None
             self.stats.max_term_seen = max(self.stats.max_term_seen, term)
-        self._role = RaftRole.FOLLOWER
-        self._leader_id = leader
+        self._set_role(RaftRole.FOLLOWER)
+        self._set_leader(leader)
         self._votes.clear()
         self._prevotes.clear()
         self._reset_election_deadline(now_ms)
@@ -726,7 +749,7 @@ class RaftReplica(Replica):
             return
         if msg.term > self._term or self._role is not RaftRole.FOLLOWER:
             self._step_down(msg.term, now_ms, leader=msg.leader)
-        self._leader_id = msg.leader
+        self._set_leader(msg.leader)
         self._last_leader_contact = now_ms
         self._reset_election_deadline(now_ms)
         if msg.last_idx > self._log.base:
@@ -796,7 +819,7 @@ class RaftReplica(Replica):
             return
         if msg.term > self._term or self._role is not RaftRole.FOLLOWER:
             self._step_down(msg.term, now_ms, leader=msg.leader)
-        self._leader_id = msg.leader
+        self._set_leader(msg.leader)
         self._last_leader_contact = now_ms
         self._reset_election_deadline(now_ms)
         # Consistency check at prev_idx.
@@ -897,7 +920,7 @@ class RaftReplica(Replica):
         if self.pid not in change.servers and self._role is RaftRole.LEADER:
             # A leader not in the new configuration steps down once the
             # change commits (standard Raft practice).
-            self._role = RaftRole.FOLLOWER
+            self._set_role(RaftRole.FOLLOWER)
             self._leader_id = None
 
     def _send(self, dst: int, msg: Any) -> None:

@@ -30,6 +30,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigError
+from repro.obs.events import BallotElected
+from repro.obs.registry import Instrumented, MetricsRegistry
 from repro.omni.ballot import Ballot
 from repro.omni.sequence_paxos import SequencePaxos, SequencePaxosConfig
 from repro.omni.storage import InMemoryStorage, Storage
@@ -121,8 +123,11 @@ class VRStats:
     views_established: int = 0
 
 
-class VRReplica(Replica):
+class VRReplica(Replica, Instrumented):
     """One VR server: view-change election + Sequence Paxos replication."""
+
+    def _on_observability(self, registry: MetricsRegistry) -> None:
+        self._sp.set_observability(registry)
 
     def __init__(self, config: VRConfig, storage: Optional[Storage] = None):
         self._config = config
@@ -275,6 +280,7 @@ class VRReplica(Replica):
         self._sp = SequencePaxos(
             SequencePaxosConfig(pid=self.pid, peers=self._peers), sp_storage
         )
+        self._sp.set_observability(self._obs)
         self._sp.fail_recover()
         self._view = 0
         self._status = VRStatus.NORMAL
@@ -352,6 +358,9 @@ class VRReplica(Replica):
         self._last_leader_contact = now_ms
         self._next_ping = now_ms
         self.stats.views_established += 1
+        if self._obs.enabled:
+            self._obs.emit(BallotElected(pid=self.pid, leader=self.pid,
+                                         ballot=self._view))
         self._sp.handle_leader(self._view_ballot(self._view))
         for peer in self._peers:
             self._send(peer, StartView(self._view))
@@ -362,6 +371,9 @@ class VRReplica(Replica):
         self._view = msg.view
         self._status = VRStatus.NORMAL
         self._last_leader_contact = now_ms
+        if self._obs.enabled:
+            self._obs.emit(BallotElected(pid=self.pid, leader=src,
+                                         ballot=msg.view))
         # Tell Sequence Paxos about the new leader so buffered proposals are
         # forwarded; log synchronization follows via its Prepare phase.
         self._sp.handle_leader(Ballot(n=msg.view, priority=0, pid=src))

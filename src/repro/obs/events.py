@@ -1,0 +1,181 @@
+"""The structured protocol event vocabulary.
+
+One vocabulary for Omni-Paxos *and* the baselines: the evaluation compares
+protocols through identical measurement hooks (like the uniform harness of
+*Paxos vs Raft*), so a Raft term win and a BLE election both surface as
+:class:`BallotElected`, and a Raft step-down and a Sequence Paxos demotion
+both surface as :class:`RoleChanged`.
+
+Events are frozen dataclasses with a class-level ``kind`` tag. They carry
+no timestamp themselves — the registry stamps emission time from its clock
+and hands sinks an :class:`EventRecord`. ``event_to_dict`` /
+``event_from_dict`` round-trip events through JSON-safe dicts for the
+JSON-lines exporter and the ``repro-obs`` report CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Optional, Tuple, Type
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """Base class; subclasses define ``kind`` and their payload fields."""
+
+    kind: ClassVar[str] = "ProtocolEvent"
+
+
+@dataclass(frozen=True)
+class BallotElected(ProtocolEvent):
+    """Server ``pid`` observed ``leader`` elected with ballot/term/view
+    number ``ballot`` (BLE election, Raft term win, MP Phase-1 completion,
+    VR view establishment — one vocabulary for all four)."""
+
+    kind: ClassVar[str] = "BallotElected"
+    pid: int = 0
+    leader: int = 0
+    ballot: int = 0
+
+
+@dataclass(frozen=True)
+class BallotBumped(ProtocolEvent):
+    """Server ``pid`` bumped its own ballot to ``ballot`` attempting a
+    takeover (BLE check_leader with the leader's ballot absent)."""
+
+    kind: ClassVar[str] = "BallotBumped"
+    pid: int = 0
+    ballot: int = 0
+
+
+@dataclass(frozen=True)
+class QCFlagChanged(ProtocolEvent):
+    """Server ``pid``'s quorum-connected flag flipped (paper section 5.2:
+    the flag that keeps non-QC servers from churning ballots)."""
+
+    kind: ClassVar[str] = "QCFlagChanged"
+    pid: int = 0
+    quorum_connected: bool = False
+
+
+@dataclass(frozen=True)
+class RoleChanged(ProtocolEvent):
+    """Server ``pid`` changed replication role (``leader`` / ``follower`` /
+    ``candidate`` / ``precandidate``). ``protocol`` names the emitting
+    state machine (``sp``, ``raft``, ``multipaxos``)."""
+
+    kind: ClassVar[str] = "RoleChanged"
+    pid: int = 0
+    role: str = "follower"
+    protocol: str = "sp"
+
+
+@dataclass(frozen=True)
+class StopSignDecided(ProtocolEvent):
+    """Server ``pid`` decided the stop-sign ending configuration
+    ``config_id``; the cluster moves to ``next_config_id`` = ``servers``."""
+
+    kind: ClassVar[str] = "StopSignDecided"
+    pid: int = 0
+    config_id: int = 0
+    next_config_id: int = 0
+    servers: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class MigrationDonorPicked(ProtocolEvent):
+    """Joining server ``pid`` requested log range ``[from_idx, to_idx)``
+    of configuration ``config_id`` from ``donor`` (paper section 6:
+    parallel log migration)."""
+
+    kind: ClassVar[str] = "MigrationDonorPicked"
+    pid: int = 0
+    config_id: int = 0
+    donor: int = 0
+    from_idx: int = 0
+    to_idx: int = 0
+
+
+@dataclass(frozen=True)
+class MigrationCompleted(ProtocolEvent):
+    """Joining server ``pid`` finished migrating ``entries`` log entries
+    for configuration ``config_id`` in ``duration_ms``."""
+
+    kind: ClassVar[str] = "MigrationCompleted"
+    pid: int = 0
+    config_id: int = 0
+    entries: int = 0
+    duration_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class SessionDropped(ProtocolEvent):
+    """Server ``pid`` observed the link session to ``peer`` drop and
+    re-establish (triggers PrepareReq handling, paper section 4.1.3)."""
+
+    kind: ClassVar[str] = "SessionDropped"
+    pid: int = 0
+    peer: int = 0
+
+
+@dataclass(frozen=True)
+class ClientReplyDecided(ProtocolEvent):
+    """The closed-loop client observed command ``seq`` decided. The stream
+    of these events *is* the paper's throughput/down-time signal — the
+    ``repro-obs`` CLI recomputes Figures 7–9 style summaries from it."""
+
+    kind: ClassVar[str] = "ClientReplyDecided"
+    client_id: int = 0
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One emitted event plus its registry-stamped emission time."""
+
+    at_ms: float
+    event: ProtocolEvent
+
+
+EVENT_TYPES: Dict[str, Type[ProtocolEvent]] = {
+    cls.kind: cls
+    for cls in (
+        BallotElected,
+        BallotBumped,
+        QCFlagChanged,
+        RoleChanged,
+        StopSignDecided,
+        MigrationDonorPicked,
+        MigrationCompleted,
+        SessionDropped,
+        ClientReplyDecided,
+    )
+}
+
+
+def event_to_dict(record: EventRecord) -> Dict[str, Any]:
+    """A JSON-safe dict for one event record (tuples become lists)."""
+    out: Dict[str, Any] = {"kind": record.event.kind, "at_ms": record.at_ms}
+    for f in fields(record.event):
+        value = getattr(record.event, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+def event_from_dict(payload: Dict[str, Any]) -> EventRecord:
+    """Rebuild an :class:`EventRecord` from :func:`event_to_dict` output."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    at_ms = data.pop("at_ms", 0.0)
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ConfigError(f"unknown event kind {kind!r}")
+    coerced = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in data.items()
+    }
+    return EventRecord(at_ms=at_ms, event=cls(**coerced))

@@ -1,0 +1,199 @@
+"""Pluggable exporters for the observability layer.
+
+Three sinks/renderers cover the evaluation workflows:
+
+- :class:`MemorySink` — in-memory event store with the filters tests and
+  benchmarks need (by kind, by time window),
+- :class:`JsonLinesSink` — streams events to a ``.jsonl`` file and appends
+  a metrics snapshot on close; :func:`read_jsonl` round-trips the file for
+  the ``repro-obs`` report CLI,
+- :func:`render_prometheus` — Prometheus text exposition format
+  (counters, gauges, histograms with cumulative ``_bucket`` series), for
+  scraping a live :class:`~repro.runtime.node.RuntimeNode`.
+
+Sinks implement a single method ``record(EventRecord)`` — anything with
+that shape can be registered via ``MetricsRegistry.add_sink``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.obs.events import EventRecord, event_from_dict, event_to_dict
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class MemorySink:
+    """Keeps every event record in memory for querying."""
+
+    def __init__(self) -> None:
+        self.records: List[EventRecord] = []
+
+    def record(self, record: EventRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def kinds(self) -> Tuple[str, ...]:
+        """Distinct event kinds observed, in first-seen order."""
+        return tuple(dict.fromkeys(r.event.kind for r in self.records))
+
+    def by_kind(self, kind: str) -> List[EventRecord]:
+        return [r for r in self.records if r.event.kind == kind]
+
+    def between(self, start_ms: float, end_ms: float) -> List[EventRecord]:
+        """Records with ``start_ms <= at_ms < end_ms``."""
+        return [r for r in self.records if start_ms <= r.at_ms < end_ms]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class JsonLinesSink:
+    """Streams events to a JSON-lines file, one ``{"t": "event", ...}`` per
+    line; :meth:`write_snapshot` appends ``{"t": "metric", ...}`` lines so
+    one file holds a run's full observability state."""
+
+    def __init__(self, destination: Union[str, IO[str]]):
+        if isinstance(destination, str):
+            self._fh: IO[str] = open(destination, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = destination
+            self._owns = False
+
+    def record(self, record: EventRecord) -> None:
+        payload = event_to_dict(record)
+        payload["t"] = "event"
+        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    def write_snapshot(self, registry: MetricsRegistry) -> None:
+        """Append one line per instrument with its current value."""
+        for line in metrics_snapshot(registry):
+            self._fh.write(json.dumps(line, sort_keys=True) + "\n")
+
+    def close(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Optionally snapshot ``registry``, then flush (and close the file
+        if this sink opened it)."""
+        if registry is not None:
+            self.write_snapshot(registry)
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+def metrics_snapshot(registry: MetricsRegistry) -> List[Dict[str, Any]]:
+    """JSON-safe dicts for every instrument in ``registry``."""
+    out: List[Dict[str, Any]] = []
+    for metric in registry.metrics():
+        base = {
+            "t": "metric",
+            "name": metric.name,
+            "labels": dict(metric.labels),
+        }
+        if isinstance(metric, Counter):
+            base.update(metric="counter", value=metric.value)
+        elif isinstance(metric, Gauge):
+            base.update(metric="gauge", value=metric.value)
+        elif isinstance(metric, Histogram):
+            base.update(
+                metric="histogram",
+                count=metric.count,
+                sum=metric.sum,
+                buckets=[
+                    ["+Inf" if bound == float("inf") else bound, count]
+                    for bound, count in metric.nonempty_buckets()
+                ],
+            )
+        else:  # pragma: no cover - future instrument types
+            continue
+        out.append(base)
+    return out
+
+
+def read_jsonl(
+    source: Union[str, IO[str], Iterable[str]],
+) -> Tuple[List[EventRecord], List[Dict[str, Any]]]:
+    """Parse a JSON-lines export back into ``(events, metric dicts)``."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    else:
+        lines = list(source)
+    events: List[EventRecord] = []
+    metrics: List[Dict[str, Any]] = []
+    for raw in lines:
+        raw = raw.strip()
+        if not raw:
+            continue
+        payload = json.loads(raw)
+        tag = payload.pop("t", "event")
+        if tag == "event":
+            events.append(event_from_dict(payload))
+        elif tag == "metric":
+            metrics.append(payload)
+        else:
+            raise ConfigError(f"unknown JSON-lines record tag {tag!r}")
+    return events, metrics
+
+
+# --------------------------------------------------------------------------
+# Prometheus text exposition format
+# --------------------------------------------------------------------------
+
+def _fmt_labels(labels, extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [(str(k), str(v)) for k, v in labels]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    rendered = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + rendered + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry's current state in Prometheus text format 0.0.4."""
+    by_name: Dict[str, List[Any]] = {}
+    for metric in registry.metrics():
+        by_name.setdefault(metric.name, []).append(metric)
+    lines: List[str] = []
+    for name, metrics in by_name.items():
+        kind = metrics[0]
+        if isinstance(kind, Counter):
+            lines.append(f"# TYPE {name} counter")
+            for m in metrics:
+                lines.append(f"{name}{_fmt_labels(m.labels)} {_fmt_value(m.value)}")
+        elif isinstance(kind, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            for m in metrics:
+                lines.append(f"{name}{_fmt_labels(m.labels)} {_fmt_value(m.value)}")
+        elif isinstance(kind, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            for m in metrics:
+                cumulative = 0
+                for bound, count in m.nonempty_buckets():
+                    cumulative += count
+                    le = _fmt_labels(m.labels, ("le", _fmt_value(bound)))
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                if not m.nonempty_buckets() or \
+                        m.nonempty_buckets()[-1][0] != float("inf"):
+                    le = _fmt_labels(m.labels, ("le", "+Inf"))
+                    lines.append(f"{name}_bucket{le} {m.count}")
+                lines.append(f"{name}_sum{_fmt_labels(m.labels)} {_fmt_value(m.sum)}")
+                lines.append(f"{name}_count{_fmt_labels(m.labels)} {m.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,145 @@
+"""Turn an exported event stream back into the paper's summary numbers.
+
+The benchmarks historically recomputed decided-throughput, per-5s-window
+series, down-time and per-server IO by hand from harness-local trackers.
+This module derives the same numbers from the *exported* observability
+stream instead, so any run that produced a JSON-lines file — sim harness,
+live runtime, benchmark — can be summarized after the fact:
+
+- throughput and the per-window decided series come from
+  :class:`~repro.obs.events.ClientReplyDecided` events, fed through the
+  very same :class:`~repro.sim.metrics.DecidedTracker` the harness uses
+  (hence bit-identical numbers),
+- down-time / recovery follow the paper's Figure 8 definitions,
+- per-server IO and election/migration tallies come from the metrics
+  snapshot appended to the export.
+
+``python -m repro.tools.obs_report run.jsonl`` renders the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.obs.events import ClientReplyDecided, EventRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.metrics import DecidedTracker
+
+
+@dataclass
+class RunReport:
+    """Summary of one exported run."""
+
+    start_ms: float
+    end_ms: float
+    decided_total: int
+    throughput_ops_s: float
+    downtime_ms: float
+    #: ``(window_start_ms, decided_count)`` per window — Figure 9's series.
+    windows: List[Tuple[float, int]] = field(default_factory=list)
+    window_ms: float = 5000.0
+    #: Event-kind tallies (elections, role changes, session drops, ...).
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    #: Outgoing bytes per server, from the metrics snapshot.
+    io_bytes_by_server: Dict[str, float] = field(default_factory=dict)
+    #: Decided entries per server, from the metrics snapshot.
+    decided_by_server: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """A human-readable report (what the CLI prints)."""
+        lines = [
+            f"observation window : {self.start_ms:.1f} .. {self.end_ms:.1f} ms"
+            f"  ({(self.end_ms - self.start_ms) / 1000.0:.1f} s)",
+            f"decided replies    : {self.decided_total}",
+            f"throughput         : {self.throughput_ops_s:.1f} decided/s",
+            f"down-time (longest): {self.downtime_ms:.1f} ms",
+        ]
+        if self.windows:
+            lines.append(f"per-{self.window_ms / 1000.0:.0f}s-window decided:")
+            for start, count in self.windows:
+                rate = count / (self.window_ms / 1000.0)
+                lines.append(f"  [{start:10.1f} ms] {count:8d}  ({rate:9.1f}/s)")
+        if self.event_counts:
+            lines.append("events:")
+            for kind in sorted(self.event_counts):
+                lines.append(f"  {kind:<22s} {self.event_counts[kind]:8d}")
+        if self.io_bytes_by_server:
+            lines.append("outgoing IO per server:")
+            for pid in sorted(self.io_bytes_by_server, key=str):
+                mb = self.io_bytes_by_server[pid] / 1e6
+                lines.append(f"  server {pid:<4} {mb:10.3f} MB")
+        if self.decided_by_server:
+            lines.append("decided entries per server:")
+            for pid in sorted(self.decided_by_server, key=str):
+                lines.append(
+                    f"  server {pid:<4} {int(self.decided_by_server[pid]):10d}"
+                )
+        return "\n".join(lines)
+
+
+def decided_tracker_from_events(
+    events: Sequence[EventRecord],
+) -> DecidedTracker:
+    """Rebuild the harness's :class:`DecidedTracker` from the exported
+    client-reply events (timestamps must already be non-decreasing, which
+    registry stamping guarantees)."""
+    # Imported here, not at module scope: the protocol modules import
+    # repro.obs, and repro.sim transitively imports them back.
+    from repro.sim.metrics import DecidedTracker
+
+    tracker = DecidedTracker()
+    for record in events:
+        if isinstance(record.event, ClientReplyDecided):
+            tracker.record(record.at_ms)
+    return tracker
+
+
+def summarize_run(
+    events: Sequence[EventRecord],
+    metrics: Sequence[Dict[str, Any]] = (),
+    window_ms: float = 5000.0,
+    start_ms: Optional[float] = None,
+    end_ms: Optional[float] = None,
+) -> RunReport:
+    """Compute the standard summary over ``[start_ms, end_ms)``.
+
+    ``start_ms``/``end_ms`` default to the first/last event timestamps —
+    pass explicit bounds to reproduce a harness measurement window (e.g.
+    a partition interval for down-time).
+    """
+    if start_ms is None:
+        start_ms = events[0].at_ms if events else 0.0
+    if end_ms is None:
+        end_ms = events[-1].at_ms if events else 0.0
+    if start_ms > end_ms:
+        raise ConfigError(
+            f"observation window inverted: start {start_ms} > end {end_ms}"
+        )
+    tracker = decided_tracker_from_events(events)
+    counts: Dict[str, int] = {}
+    for record in events:
+        counts[record.event.kind] = counts.get(record.event.kind, 0) + 1
+    io: Dict[str, float] = {}
+    decided_by_server: Dict[str, float] = {}
+    for metric in metrics:
+        name = metric.get("name")
+        labels = metric.get("labels", {})
+        if name == "repro_bytes_sent_total":
+            io[str(labels.get("src"))] = metric.get("value", 0.0)
+        elif name == "repro_decided_entries_total":
+            decided_by_server[str(labels.get("pid"))] = metric.get("value", 0.0)
+    return RunReport(
+        start_ms=start_ms,
+        end_ms=end_ms,
+        decided_total=tracker.count_between(start_ms, end_ms),
+        throughput_ops_s=tracker.throughput(start_ms, end_ms),
+        downtime_ms=tracker.downtime(start_ms, end_ms),
+        windows=tracker.windowed_counts(start_ms, end_ms, window_ms),
+        window_ms=window_ms,
+        event_counts=counts,
+        io_bytes_by_server=io,
+        decided_by_server=decided_by_server,
+    )

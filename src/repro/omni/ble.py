@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.obs.events import BallotBumped, BallotElected, QCFlagChanged
+from repro.obs.registry import Instrumented
 from repro.omni.ballot import Ballot, BOTTOM
 from repro.omni.messages import HeartbeatReply, HeartbeatRequest
 
@@ -80,7 +82,7 @@ class BLEStats:
     ballots_bumped: int = 0
 
 
-class BallotLeaderElection:
+class BallotLeaderElection(Instrumented):
     """One BLE instance (one per configuration per server)."""
 
     def __init__(
@@ -111,6 +113,9 @@ class BallotLeaderElection:
         self._last_quorum_at: Optional[float] = None
         self._now = 0.0
         self._next_timeout: Optional[float] = None
+        #: When leadership was last lost (basis of the election-duration
+        #: histogram); None while a leader is known.
+        self._leaderless_since: Optional[float] = None
         self._outbox: List[Tuple[int, Any]] = []
         self._leader_events: List[Ballot] = []
         self.stats = BLEStats()
@@ -205,6 +210,7 @@ class BallotLeaderElection:
         """Close the current round: evaluate replies and maybe elect."""
         self.stats.rounds += 1
         self._last_connectivity = len(self._ballots) + 1
+        was_qc = self._quorum_connected
         if len(self._ballots) + 1 >= self._config.majority:
             self._last_quorum_at = self._now
             # We heard from a majority (counting ourselves): we are QC and
@@ -215,6 +221,13 @@ class BallotLeaderElection:
         else:
             self._ballots.clear()
             self._quorum_connected = False
+        if self._obs.enabled and self._quorum_connected != was_qc:
+            self._obs.emit(QCFlagChanged(
+                pid=self.pid, quorum_connected=self._quorum_connected
+            ))
+            self._obs.gauge("repro_quorum_connected", pid=self.pid).set(
+                1.0 if self._quorum_connected else 0.0
+            )
 
     def _check_leader(self) -> None:
         candidates = [b for (b, qc) in self._ballots if qc]
@@ -232,9 +245,28 @@ class BallotLeaderElection:
                 )
             self._current_ballot = self._current_ballot.bump(leader_ballot)
             self._leader = None
+            if self._leaderless_since is None:
+                self._leaderless_since = self._now
             self.stats.ballots_bumped += 1
+            if self._obs.enabled:
+                self._obs.emit(BallotBumped(
+                    pid=self.pid, ballot=self._current_ballot.n
+                ))
+                self._obs.counter("repro_ballots_bumped_total",
+                                  pid=self.pid).inc()
         elif top != leader_ballot:
             # A higher quorum-connected ballot exists: elect it.
             self._leader = top
             self.stats.leader_changes += 1
             self._leader_events.append(top)
+            if self._obs.enabled:
+                self._obs.emit(BallotElected(
+                    pid=self.pid, leader=top.pid, ballot=top.n
+                ))
+                self._obs.counter("repro_leader_changes_total",
+                                  pid=self.pid).inc()
+                if self._leaderless_since is not None:
+                    self._obs.histogram("repro_election_duration_ms").observe(
+                        self._now - self._leaderless_since
+                    )
+            self._leaderless_since = None

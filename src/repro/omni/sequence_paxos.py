@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CompactionError, ConfigError, NotLeaderError, StoppedError
+from repro.obs.events import RoleChanged
+from repro.obs.registry import Instrumented
 from repro.omni.ballot import Ballot, BOTTOM
 from repro.omni.entry import SnapshotInstalled, StopSign, is_stopsign
 from repro.omni.messages import (
@@ -124,7 +126,7 @@ class SequencePaxosStats:
     rounds_led: int = 0
 
 
-class SequencePaxos:
+class SequencePaxos(Instrumented):
     """One Sequence Paxos replica (sans-io)."""
 
     def __init__(self, config: SequencePaxosConfig, storage: Storage):
@@ -237,6 +239,15 @@ class SequencePaxos:
     # driving: leader events, messages, proposals
     # ------------------------------------------------------------------
 
+    def _set_role(self, role: Role) -> None:
+        """Change role, emitting a :class:`RoleChanged` event on a flip."""
+        if role is self._role:
+            return
+        self._role = role
+        if self._obs.enabled:
+            self._obs.emit(RoleChanged(pid=self.pid, role=role.value,
+                                       protocol="sp"))
+
     def handle_leader(self, ballot: Ballot) -> None:
         """React to a leader event from BLE (or the VR view-change layer)."""
         if ballot.pid == self.pid:
@@ -248,7 +259,7 @@ class SequencePaxos:
                 # A higher round exists; revert to follower and wait for its
                 # Prepare (paper: "If the leader detects a higher round, it
                 # reverts back to being a follower").
-                self._role = Role.FOLLOWER
+                self._set_role(Role.FOLLOWER)
                 self._phase = Phase.NONE
             self._forward_buffered()
 
@@ -366,6 +377,9 @@ class SequencePaxos:
             entries = self._storage.get_entries(self._applied_idx, decided)
             out.extend(enumerate(entries, start=self._applied_idx))
             self._applied_idx = decided
+        if out and self._obs.enabled:
+            self._obs.counter("repro_decided_entries_total",
+                              pid=self.pid).inc(len(out))
         return out
 
     # ------------------------------------------------------------------
@@ -374,7 +388,7 @@ class SequencePaxos:
 
     def fail_recover(self) -> None:
         """Enter recovery after a crash-restart: ask peers for a Prepare."""
-        self._role = Role.FOLLOWER
+        self._set_role(Role.FOLLOWER)
         self._phase = Phase.RECOVER
         self._current_round = self._storage.get_promise()
         for peer in self._config.peers:
@@ -442,7 +456,7 @@ class SequencePaxos:
 
     def _become_leader(self, ballot: Ballot) -> None:
         self.stats.rounds_led += 1
-        self._role = Role.LEADER
+        self._set_role(Role.LEADER)
         self._phase = Phase.PREPARE
         self._current_round = ballot
         self._leader_hint = ballot
@@ -719,7 +733,7 @@ class SequencePaxos:
         if msg.n == self._storage.get_promise() and self.is_leader:
             return  # our own round echoed back; ignore
         self._storage.set_promise(msg.n)
-        self._role = Role.FOLLOWER
+        self._set_role(Role.FOLLOWER)
         self._phase = Phase.PREPARE
         self._current_round = msg.n
         self._leader_hint = msg.n

@@ -29,6 +29,13 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError, NotLeaderError
+from repro.obs.events import (
+    MigrationCompleted,
+    MigrationDonorPicked,
+    SessionDropped,
+    StopSignDecided,
+)
+from repro.obs.registry import Instrumented, MetricsRegistry
 from repro.omni.ballot import Ballot
 from repro.omni.ble import BallotLeaderElection, BLEConfig
 from repro.omni.entry import StopSign, is_stopsign
@@ -133,7 +140,7 @@ class ServerStats:
     reconfigurations: int = 0
 
 
-class OmniPaxosServer(Replica):
+class OmniPaxosServer(Replica, Instrumented):
     """A complete Omni-Paxos RSM server."""
 
     def __init__(self, config: OmniPaxosConfig):
@@ -157,7 +164,14 @@ class OmniPaxosServer(Replica):
         self._now = 0.0
         self._started = False
         self._crashed = False
+        self._migration_started_ms: Optional[float] = None
         self.stats = ServerStats()
+
+    def _on_observability(self, registry: MetricsRegistry) -> None:
+        # Instances may predate the wiring call; propagate to all of them.
+        for inst in self._instances.values():
+            inst.sp.set_observability(registry)
+            inst.ble.set_observability(registry)
 
     # ------------------------------------------------------------------
     # Replica interface: accessors
@@ -390,6 +404,8 @@ class OmniPaxosServer(Replica):
         if self._crashed or not self._started:
             return
         self._now = now_ms
+        if self._obs.enabled:
+            self._obs.emit(SessionDropped(pid=self.pid, peer=peer))
         inst = self._current_instance()
         if inst is not None and peer in inst.cluster.servers:
             inst.sp.reconnected(peer)
@@ -421,6 +437,7 @@ class OmniPaxosServer(Replica):
             resend_period_ms=4 * self._config.hb_period_ms,
         )
         sp = SequencePaxos(sp_cfg, inst.sp.storage)
+        sp.set_observability(self._obs)
         sp.fail_recover()
         promise = sp.storage.get_promise()
         ble = BallotLeaderElection(
@@ -429,6 +446,7 @@ class OmniPaxosServer(Replica):
                 n=promise.n, priority=self._config.priority, pid=self.pid
             ),
         )
+        ble.set_observability(self._obs)
         ble.start(now_ms)
         inst.sp = sp
         inst.ble = ble
@@ -475,6 +493,7 @@ class OmniPaxosServer(Replica):
         )
         storage = self._config.storage_factory(cluster.config_id)
         sp = SequencePaxos(sp_cfg, storage)
+        sp.set_observability(self._obs)
         seed: Optional[Ballot] = None
         if cluster.config_id == self._config.cluster.config_id and \
                 self._config.initial_leader is not None:
@@ -482,6 +501,7 @@ class OmniPaxosServer(Replica):
                 raise ConfigError("initial_leader must be a configuration member")
             seed = Ballot(n=1, priority=0, pid=self._config.initial_leader)
         ble = BallotLeaderElection(self._ble_config(cluster), initial_leader=seed)
+        ble.set_observability(self._obs)
         ble.start(now_ms)
         inst = _Instance(
             cluster=cluster, sp=sp, ble=ble, global_offset=len(self._global_log)
@@ -548,6 +568,13 @@ class OmniPaxosServer(Replica):
         inst.active = False  # old BLE stops; old SP keeps syncing stragglers
         self.stats.reconfigurations += 1
         new_cluster = ClusterConfig(stopsign.config_id, stopsign.servers)
+        if self._obs.enabled:
+            self._obs.emit(StopSignDecided(
+                pid=self.pid,
+                config_id=inst.cluster.config_id,
+                next_config_id=new_cluster.config_id,
+                servers=new_cluster.servers,
+            ))
         donors = tuple(p for p in inst.cluster.servers if p != self.pid)
         self._announce_msg = NewConfiguration(
             config_id=new_cluster.config_id,
@@ -621,6 +648,7 @@ class OmniPaxosServer(Replica):
             chunk_entries=self._config.migration_chunk_entries,
             retry_ms=self._config.migration_retry_ms,
         )
+        self._migration_started_ms = now_ms
         self._migration.start(now_ms)
         self._drain_migration(now_ms)
 
@@ -629,6 +657,11 @@ class OmniPaxosServer(Replica):
         if migration is None:
             return
         for dst, req in migration.take_outbox():
+            if self._obs.enabled and isinstance(req, LogPullRequest):
+                self._obs.emit(MigrationDonorPicked(
+                    pid=self.pid, config_id=req.config_id, donor=dst,
+                    from_idx=req.from_idx, to_idx=req.to_idx,
+                ))
             self._send_service(dst, req)
         if not migration.complete():
             return
@@ -636,6 +669,15 @@ class OmniPaxosServer(Replica):
         for entry in entries:
             self._global_log.append(entry)
             self._decided_out.append((len(self._global_log) - 1, entry))
+        if self._obs.enabled:
+            started = self._migration_started_ms
+            duration = now_ms - started if started is not None else 0.0
+            self._obs.emit(MigrationCompleted(
+                pid=self.pid, config_id=migration.config_id,
+                entries=len(entries), duration_ms=duration,
+            ))
+            self._obs.histogram("repro_migration_duration_ms").observe(duration)
+        self._migration_started_ms = None
         assert self._pending_cluster is not None
         cluster = self._pending_cluster
         self._migration = None

@@ -12,6 +12,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.replica import Replica
 from repro.runtime.transport import PeerAddress, TcpMesh
 
@@ -28,10 +29,12 @@ class RuntimeNode:
         peers: Dict[int, PeerAddress],
         tick_ms: float = 10.0,
         on_decided: Optional[DecidedHandler] = None,
+        obs: Optional[MetricsRegistry] = None,
     ):
         self._replica = replica
         self._tick_s = tick_ms / 1000.0
         self._on_decided = on_decided
+        self._obs = obs if obs is not None else NULL_REGISTRY
         self._mesh = TcpMesh(
             pid=replica.pid,
             listen=listen,
@@ -39,6 +42,10 @@ class RuntimeNode:
             on_message=self._handle_message,
             on_session_restored=self._handle_session_restored,
         )
+        self._mesh.set_observability(self._obs)
+        setter = getattr(replica, "set_observability", None)
+        if setter is not None:
+            setter(self._obs)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._tick_task: Optional[asyncio.Task] = None
         self._running = False
@@ -73,6 +80,9 @@ class RuntimeNode:
             return
         self._running = True
         self._loop = asyncio.get_event_loop()
+        # The registry's clock follows this node's monotonic ms clock, so
+        # runtime event timestamps are comparable to the replica's `now_ms`.
+        self._obs.set_clock(self._now_ms)
         await self._mesh.start()
         self._replica.start(self._now_ms())
         self._flush()

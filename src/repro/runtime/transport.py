@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
 from repro.errors import TransportError
+from repro.obs.registry import NULL_REGISTRY, Instrumented
 from repro.runtime.codec import FrameDecoder, encode_frame
 
 MessageHandler = Callable[[int, Any], None]
@@ -30,7 +31,7 @@ class PeerAddress:
     port: int
 
 
-class TcpMesh:
+class TcpMesh(Instrumented):
     """The full-mesh TCP transport of one server."""
 
     def __init__(
@@ -83,10 +84,21 @@ class TcpMesh:
         """Best-effort send; messages to unconnected peers are dropped
         (exactly like messages over a partitioned link)."""
         writer = self._writers.get(dst)
+        if writer is None and not self._obs.enabled:
+            return
+        frame = encode_frame(self._pid, payload)
+        if self._obs.enabled:
+            # Accounted even for unconnected peers — like SimNetwork, which
+            # bills dropped messages to the sender too.
+            inner = getattr(payload, "payload", payload)
+            self._obs.counter("repro_messages_sent_total", src=self._pid,
+                              kind=type(inner).__name__).inc()
+            self._obs.counter("repro_bytes_sent_total",
+                              src=self._pid).inc(len(frame))
         if writer is None:
             return
         try:
-            writer.write(encode_frame(self._pid, payload))
+            writer.write(frame)
         except (ConnectionError, RuntimeError):
             self._writers.pop(dst, None)
 

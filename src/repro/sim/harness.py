@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.omni.reconfig import PARALLEL
 from repro.omni.server import ClusterConfig, OmniPaxosConfig, OmniPaxosServer
 from repro.baselines.multipaxos import MultiPaxosConfig, MultiPaxosReplica
@@ -113,6 +114,9 @@ class Experiment:
     queue: EventQueue
     network: SimNetwork
     io: IOTracker
+    #: Observability registry; the no-op singleton unless one was passed to
+    #: :func:`build_experiment`.
+    obs: MetricsRegistry = NULL_REGISTRY
 
     def make_client(self, concurrent_proposals: int,
                     proposal_timeout_ms: Optional[float] = None,
@@ -132,6 +136,7 @@ class Experiment:
             proposal_timeout_ms=proposal_timeout_ms,
         )
         client = ClosedLoopClient(self.cluster, params)
+        client.set_observability(self.obs)
         client.start()
         return client
 
@@ -187,9 +192,18 @@ def make_replica(cfg: ExperimentConfig, pid: int,
     raise ConfigError(f"unknown protocol {cfg.protocol!r}")
 
 
-def build_experiment(cfg: ExperimentConfig) -> Experiment:
-    """Build a ready-to-run cluster of the configured protocol."""
+def build_experiment(cfg: ExperimentConfig,
+                     obs: Optional[MetricsRegistry] = None) -> Experiment:
+    """Build a ready-to-run cluster of the configured protocol.
+
+    Pass a :class:`~repro.obs.registry.MetricsRegistry` as ``obs`` to
+    collect metrics and protocol events from every layer; without one the
+    no-op registry is wired and instrumentation costs a single attribute
+    check per site.
+    """
+    registry = obs if obs is not None else NULL_REGISTRY
     queue = EventQueue()
+    registry.set_clock(lambda: queue.now)
     io = IOTracker(window_ms=cfg.io_window_ms)
     params = NetworkParams(
         one_way_ms=cfg.one_way_ms,
@@ -199,14 +213,17 @@ def build_experiment(cfg: ExperimentConfig) -> Experiment:
     network = SimNetwork(
         queue, params, rng=spawn_rng(cfg.seed, "net"), io_tracker=io
     )
+    network.set_observability(registry)
     for (a, b), ms in cfg.latency_map.items():
         network.set_latency(a, b, ms)
     replicas = {pid: make_replica(cfg, pid) for pid in cfg.servers}
+    for replica in replicas.values():
+        replica.set_observability(registry)
     cluster = SimCluster(replicas, network, queue,
                          tick_ms=cfg.effective_tick_ms)
     cluster.start()
     return Experiment(config=cfg, cluster=cluster, queue=queue,
-                      network=network, io=io)
+                      network=network, io=io, obs=registry)
 
 
 def wan_latency_map(servers: Tuple[int, ...],

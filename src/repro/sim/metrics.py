@@ -17,6 +17,9 @@ import bisect
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.errors import ConfigError
+from repro.omni.messages import Envelope
+
 
 class DecidedTracker:
     """Records timestamps of decided client replies and derives metrics."""
@@ -48,6 +51,8 @@ class DecidedTracker:
     def windowed_counts(self, start_ms: float, end_ms: float,
                         window_ms: float = 5000.0) -> List[Tuple[float, int]]:
         """``(window_start, decided_count)`` per window — Figure 9's series."""
+        if window_ms <= 0:
+            raise ConfigError("window_ms must be positive")
         out = []
         t = start_ms
         while t < end_ms:
@@ -119,9 +124,25 @@ class IOTracker:
         return [(k * self._window_ms, v) for k, v in sorted(windows.items())]
 
 
+#: Per-message framing overhead assumed for payloads that cannot size
+#: themselves (matches ``_HEADER`` in :mod:`repro.omni.messages`).
+_FALLBACK_PAYLOAD_BYTES = 24
+#: The envelope's own framing cost (config id + component tag).
+_ENVELOPE_HEADER_BYTES = 6
+
+
 def wire_size(msg) -> int:
-    """Approximate serialized size of any message (fallback: header only)."""
+    """Approximate serialized size of any message.
+
+    Messages that implement ``wire_size()`` answer for themselves. An
+    :class:`~repro.omni.messages.Envelope` around a payload *without* a
+    sizer is accounted as envelope header plus the payload fallback —
+    previously such envelopes were flattened to 24 bytes total, which
+    systematically undercounted IOTracker numbers for unsized messages.
+    """
+    if isinstance(msg, Envelope):
+        return _ENVELOPE_HEADER_BYTES + wire_size(msg.payload)
     sizer = getattr(msg, "wire_size", None)
     if sizer is not None:
         return sizer()
-    return 24
+    return _FALLBACK_PAYLOAD_BYTES

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.obs.registry import Instrumented
 from repro.sim.events import EventQueue
 from repro.sim.metrics import IOTracker, wire_size
 
@@ -51,7 +52,7 @@ class NetworkParams:
             raise ConfigError("egress_bytes_per_ms must be positive")
 
 
-class SimNetwork:
+class SimNetwork(Instrumented):
     """Delivers messages between servers subject to the link model."""
 
     def __init__(
@@ -81,6 +82,11 @@ class SimNetwork:
         self._session_restored: Optional[Callable[[int, int], None]] = None
         self.messages_sent = 0
         self.messages_dropped = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in ms (the event queue's clock)."""
+        return self._queue.now
 
     # -- wiring -------------------------------------------------------------
 
@@ -162,6 +168,11 @@ class SimNetwork:
         nbytes = wire_size(msg)
         if self._io is not None:
             self._io.record(src, nbytes, self._queue.now)
+        if self._obs.enabled:
+            payload = getattr(msg, "payload", msg)
+            self._obs.counter("repro_messages_sent_total", src=src,
+                              kind=type(payload).__name__).inc()
+            self._obs.counter("repro_bytes_sent_total", src=src).inc(nbytes)
         if not self.is_up(src, dst):
             self.messages_dropped += 1
             return

@@ -85,8 +85,13 @@ def run_partition_scenario(
     concurrent_proposals: int = 8,
     seed: int = 0,
     num_servers: Optional[int] = None,
+    obs=None,
 ) -> ScenarioResult:
-    """Run one (protocol, scenario) cell and return its measurements."""
+    """Run one (protocol, scenario) cell and return its measurements.
+
+    ``obs`` is an optional :class:`~repro.obs.registry.MetricsRegistry`
+    collecting metrics and protocol events from the run.
+    """
     if scenario not in SCENARIOS:
         raise ConfigError(f"unknown scenario {scenario!r}; one of {SCENARIOS}")
     timeout = election_timeout_ms
@@ -106,7 +111,7 @@ def run_partition_scenario(
         seed=seed,
         initial_leader=leader,
     )
-    exp = build_experiment(cfg)
+    exp = build_experiment(cfg, obs=obs)
     client = exp.make_client(concurrent_proposals=concurrent_proposals)
     exp.cluster.run_for(warmup_ms)
     if scenario == "constrained":

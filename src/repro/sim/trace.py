@@ -65,21 +65,54 @@ class MessageTrace:
     def __init__(self, capacity: int = 10_000):
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._enabled = True
+        self._network: Optional[SimNetwork] = None
+        self._original_send = None
+        self._wrapper = None
 
     # -- attachment ----------------------------------------------------------
 
     @classmethod
     def attach(cls, network: SimNetwork, capacity: int = 10_000) -> "MessageTrace":
-        """Wrap ``network.send`` so every message is recorded."""
+        """Wrap ``network.send`` so every message is recorded.
+
+        Keep the returned trace and call :meth:`detach` to restore the
+        original send path. Traces stack; detach in reverse attach order.
+        """
         trace = cls(capacity=capacity)
         original = network.send
 
         def traced_send(src: int, dst: int, msg: Any) -> None:
-            trace.record(network._queue.now, src, dst, msg)
+            trace.record(network.now, src, dst, msg)
             original(src, dst, msg)
 
         network.send = traced_send  # type: ignore[method-assign]
+        trace._network = network
+        trace._original_send = original
+        trace._wrapper = traced_send
         return trace
+
+    def detach(self) -> None:
+        """Restore the network's original ``send``, stopping the trace.
+
+        Raises :class:`RuntimeError` when another wrapper was attached on
+        top of this one and is still active (detach LIFO), or when the
+        trace was never attached. Idempotent once detached.
+        """
+        if self._network is None:
+            return
+        if self._network.send is not self._wrapper:
+            raise RuntimeError(
+                "cannot detach: network.send was wrapped again after this "
+                "trace attached (detach the newer wrapper first)"
+            )
+        self._network.send = self._original_send  # type: ignore[method-assign]
+        self._network = None
+        self._original_send = None
+        self._wrapper = None
+
+    @property
+    def attached(self) -> bool:
+        return self._network is not None
 
     def record(self, at_ms: float, src: int, dst: int, msg: Any) -> None:
         if not self._enabled:

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
 from repro.errors import ConfigError, ReproError
+from repro.obs.events import ClientReplyDecided
+from repro.obs.registry import Instrumented
 from repro.omni.entry import Command
 from repro.sim.cluster import SimCluster
 from repro.sim.metrics import DecidedTracker
@@ -48,7 +50,7 @@ class WorkloadParams:
             raise ConfigError("client timing parameters must be positive")
 
 
-class ClosedLoopClient:
+class ClosedLoopClient(Instrumented):
     """Closed-loop proposer driving a :class:`SimCluster`."""
 
     def __init__(self, cluster: SimCluster, params: WorkloadParams,
@@ -117,6 +119,16 @@ class ClosedLoopClient:
         if first is not None:
             self.latencies_ms.append(now - first)
         self.tracker.record(now)
+        if self._obs.enabled:
+            self._obs.counter("repro_client_replies_total",
+                              client=self._params.client_id).inc()
+            if first is not None:
+                self._obs.histogram(
+                    "repro_propose_decide_latency_ms"
+                ).observe(now - first)
+            self._obs.emit(ClientReplyDecided(
+                client_id=self._params.client_id, seq=entry.seq
+            ))
 
     def _schedule_tick(self) -> None:
         self._cluster.queue.schedule_in(self._params.client_tick_ms, self._tick)

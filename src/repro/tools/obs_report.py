@@ -1,0 +1,77 @@
+"""CLI: summarize an exported observability stream (``repro-obs``).
+
+Turns a JSON-lines export (see :class:`repro.obs.exporters.JsonLinesSink`)
+into the per-window throughput / down-time / IO summary the paper reports::
+
+    python -m repro.tools.obs_report run.jsonl --window-ms 5000
+    repro-obs run.jsonl --start-ms 2000 --end-ms 7000
+
+The numbers match the harness's own trackers exactly: the report feeds the
+exported ``ClientReplyDecided`` timestamps through the same
+:class:`~repro.sim.metrics.DecidedTracker` the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ConfigError
+from repro.obs.exporters import read_jsonl
+from repro.obs.report import summarize_run
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Summarize a JSON-lines observability export."
+    )
+    parser.add_argument("path", help="path to the .jsonl export")
+    parser.add_argument("--window-ms", type=float, default=5000.0,
+                        help="window size for the decided series (paper: 5 s)")
+    parser.add_argument("--start-ms", type=float, default=None,
+                        help="observation start (default: first event)")
+    parser.add_argument("--end-ms", type=float, default=None,
+                        help="observation end (default: last event)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.window_ms <= 0:
+        print("--window-ms must be positive", file=sys.stderr)
+        return 2
+    if (args.start_ms is not None and args.end_ms is not None
+            and args.start_ms >= args.end_ms):
+        print("--start-ms must be before --end-ms", file=sys.stderr)
+        return 2
+    try:
+        events, metrics = read_jsonl(args.path)
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    except ConfigError as exc:
+        print(f"{args.path}: {exc}", file=sys.stderr)
+        return 1
+    if not events and not metrics:
+        print(f"{args.path}: no events or metrics found")
+        return 1
+    try:
+        report = summarize_run(
+            events,
+            metrics,
+            window_ms=args.window_ms,
+            start_ms=args.start_ms,
+            end_ms=args.end_ms,
+        )
+    except ConfigError as exc:  # e.g. one-sided bound past the event span
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        raise SystemExit(0)

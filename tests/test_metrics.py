@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.sim.metrics import DecidedTracker, IOTracker, wire_size
+from repro.errors import ConfigError
+from repro.omni.messages import Envelope
+from repro.sim.metrics import (
+    _ENVELOPE_HEADER_BYTES,
+    _FALLBACK_PAYLOAD_BYTES,
+    DecidedTracker,
+    IOTracker,
+    wire_size,
+)
 
 
 class TestDecidedTracker:
@@ -57,6 +65,66 @@ class TestDecidedTracker:
         t.record(100)
         assert t.recovery_time(200, 1000) is None
 
+    def test_downtime_record_at_interval_boundaries(self):
+        # A decide exactly at start_ms counts (closed below); one exactly
+        # at end_ms does not (open above) — the half-open convention every
+        # other query uses.
+        t = DecidedTracker()
+        t.record(0)
+        t.record(1000)
+        assert t.downtime(0, 1000) == 1000  # the 1000 ms record is outside
+        t2 = DecidedTracker()
+        t2.record(0)
+        t2.record(999)
+        assert t2.downtime(0, 1000) == 999
+
+    def test_downtime_single_boundary_record(self):
+        t = DecidedTracker()
+        t.record(500)
+        # Gaps clip to the observation interval on both sides.
+        assert t.downtime(500, 1000) == 500
+        assert t.downtime(0, 500) == 500  # record at end is excluded
+
+    def test_recovery_none_when_first_decide_past_end(self):
+        # The cluster did recover eventually — but not within the observed
+        # interval, so for this observation it counts as never recovered.
+        t = DecidedTracker()
+        t.record(100)
+        t.record(1500)
+        assert t.recovery_time(200, 1000) is None
+        assert t.recovery_time(200, 1500) == pytest.approx(1300)
+
+    def test_recovery_decide_exactly_at_partition(self):
+        # A decide at exactly partition_at_ms belongs to "before": recovery
+        # is the first decide strictly after the partition instant.
+        t = DecidedTracker()
+        t.record(200)
+        t.record(700)
+        assert t.recovery_time(200, 1000) == pytest.approx(500)
+
+    def test_windowed_counts_partial_final_window(self):
+        t = DecidedTracker()
+        for ms in (100, 5100, 11_900):
+            t.record(float(ms))
+        windows = t.windowed_counts(0, 12_000, 5_000)
+        # The final window is clipped to [10_000, 12_000).
+        assert windows == [(0, 1), (5_000, 1), (10_000, 1)]
+        assert t.windowed_counts(0, 4_000, 5_000) == [(0, 1)]
+
+    def test_windowed_counts_empty_interval(self):
+        t = DecidedTracker()
+        t.record(10)
+        assert t.windowed_counts(50, 50, 5_000) == []
+
+    def test_windowed_counts_nonpositive_window_rejected(self):
+        # window_ms <= 0 would never advance the cursor: infinite loop.
+        t = DecidedTracker()
+        t.record(10)
+        with pytest.raises(ConfigError):
+            t.windowed_counts(0, 100, 0)
+        with pytest.raises(ConfigError):
+            t.windowed_counts(0, 100, -5)
+
 
 class TestIOTracker:
     def test_totals(self):
@@ -95,3 +163,19 @@ class TestWireSize:
 
     def test_fallback(self):
         assert wire_size(object()) == 24
+
+    def test_envelope_wraps_payload_size(self):
+        class Sized:
+            def wire_size(self):
+                return 100
+
+        env = Envelope(config_id=0, component="sp", payload=Sized())
+        assert wire_size(env) == _ENVELOPE_HEADER_BYTES + 100
+
+    def test_envelope_around_unsized_payload(self):
+        # Previously flattened to the bare 24-byte fallback, undercounting
+        # the envelope's own framing.
+        env = Envelope(config_id=0, component="sp", payload=object())
+        assert wire_size(env) == \
+            _ENVELOPE_HEADER_BYTES + _FALLBACK_PAYLOAD_BYTES
+        assert wire_size(env) > wire_size(object())

@@ -1,0 +1,162 @@
+"""Tests for the observability exporters: memory, JSON-lines, Prometheus."""
+
+import io
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.events import (
+    BallotElected,
+    ClientReplyDecided,
+    EventRecord,
+    RoleChanged,
+)
+from repro.obs.exporters import (
+    JsonLinesSink,
+    MemorySink,
+    metrics_snapshot,
+    read_jsonl,
+    render_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def populated_registry():
+    reg = MetricsRegistry(clock=lambda: 100.0)
+    reg.counter("repro_decided_entries_total", pid=1).inc(10)
+    reg.counter("repro_decided_entries_total", pid=2).inc(20)
+    reg.gauge("repro_quorum_connected", pid=1).set(1.0)
+    hist = reg.histogram("repro_propose_decide_latency_ms")
+    for v in (1.0, 2.0, 300.0):
+        hist.observe(v)
+    return reg
+
+
+class TestMemorySink:
+    def make(self):
+        reg = MetricsRegistry(clock=lambda: 0.0)
+        sink = MemorySink()
+        reg.add_sink(sink)
+        t = [0.0]
+        reg.set_clock(lambda: t[0])
+        t[0] = 10.0
+        reg.emit(BallotElected(pid=1, leader=1, ballot=1))
+        t[0] = 20.0
+        reg.emit(RoleChanged(pid=1, role="leader", protocol="sp"))
+        t[0] = 30.0
+        reg.emit(BallotElected(pid=2, leader=1, ballot=1))
+        return sink
+
+    def test_kinds_first_seen_order(self):
+        sink = self.make()
+        assert sink.kinds() == ("BallotElected", "RoleChanged")
+
+    def test_by_kind(self):
+        sink = self.make()
+        assert len(sink.by_kind("BallotElected")) == 2
+        assert sink.by_kind("StopSignDecided") == []
+
+    def test_between_half_open(self):
+        sink = self.make()
+        window = sink.between(10.0, 30.0)
+        assert [r.at_ms for r in window] == [10.0, 20.0]
+
+    def test_clear(self):
+        sink = self.make()
+        sink.clear()
+        assert len(sink) == 0
+        assert sink.kinds() == ()
+
+
+class TestJsonLinesRoundTrip:
+    def test_events_and_metrics(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        reg = populated_registry()
+        sink = JsonLinesSink(path)
+        reg.add_sink(sink)
+        reg.emit(BallotElected(pid=1, leader=3, ballot=7))
+        reg.emit(ClientReplyDecided(client_id=9, seq=4))
+        sink.close(reg)
+
+        events, metrics = read_jsonl(path)
+        assert [e.event.kind for e in events] == \
+            ["BallotElected", "ClientReplyDecided"]
+        assert events[0].at_ms == 100.0
+        assert events[0].event.leader == 3
+        by_name = {}
+        for m in metrics:
+            by_name.setdefault(m["name"], []).append(m)
+        decided = by_name["repro_decided_entries_total"]
+        assert sorted(m["value"] for m in decided) == [10, 20]
+        assert all(m["metric"] == "counter" for m in decided)
+        (hist,) = by_name["repro_propose_decide_latency_ms"]
+        assert hist["metric"] == "histogram"
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(303.0)
+
+    def test_io_handle_destination(self):
+        buf = io.StringIO()
+        reg = MetricsRegistry(clock=lambda: 5.0)
+        sink = JsonLinesSink(buf)
+        reg.add_sink(sink)
+        reg.emit(RoleChanged(pid=2, role="follower", protocol="raft"))
+        sink.close(reg)
+        assert not buf.closed  # sink does not own externally-supplied handles
+        events, _metrics = read_jsonl(buf.getvalue().splitlines())
+        assert events[0].event.role == "follower"
+
+    def test_histogram_inf_bucket_survives_json(self):
+        reg = MetricsRegistry()
+        reg.histogram("h_ms").observe(1e9)  # lands in the overflow bucket
+        (snap,) = metrics_snapshot(reg)
+        assert snap["buckets"] == [["+Inf", 1]]
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ConfigError):
+            read_jsonl(['{"t": "mystery", "x": 1}'])
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            read_jsonl(['{"t": "event", "kind": "Nope", "at_ms": 0.0}'])
+
+    def test_blank_lines_skipped(self):
+        events, metrics = read_jsonl(["", "   ", ""])
+        assert events == [] and metrics == []
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus(populated_registry())
+        assert "# TYPE repro_decided_entries_total counter" in text
+        assert 'repro_decided_entries_total{pid="1"} 10' in text
+        assert 'repro_decided_entries_total{pid="2"} 20' in text
+        assert "# TYPE repro_quorum_connected gauge" in text
+        assert 'repro_quorum_connected{pid="1"} 1' in text
+
+    def test_histogram_cumulative_with_inf(self):
+        text = render_prometheus(populated_registry())
+        assert "# TYPE repro_propose_decide_latency_ms histogram" in text
+        bucket_lines = [
+            l for l in text.splitlines()
+            if l.startswith("repro_propose_decide_latency_ms_bucket")
+        ]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in bucket_lines]
+        assert counts == sorted(counts)  # cumulative
+        assert counts[-1] == 3
+        assert 'le="+Inf"' in bucket_lines[-1]
+        assert "repro_propose_decide_latency_ms_sum 303" in text
+        assert "repro_propose_decide_latency_ms_count 3" in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("weird_total", label='a"b\\c').inc()
+        text = render_prometheus(reg)
+        assert r'label="a\"b\\c"' in text
+
+    def test_empty_registry(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_unlabelled_counter(self):
+        reg = MetricsRegistry()
+        reg.counter("plain_total").inc(2)
+        assert "plain_total 2" in render_prometheus(reg)

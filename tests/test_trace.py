@@ -93,3 +93,67 @@ class TestRendering:
         sim.run_for(50)
         accepts = trace.events(types=("AcceptDecide",))
         assert "|entries|=1" in accepts[0].detail
+
+
+class TestAttachDetach:
+    def test_attach_uses_public_clock(self):
+        sim, _servers = build_omni_cluster(3)
+        trace = MessageTrace.attach(sim.network)
+        run_until_leader(sim)
+        assert trace.events()[0].at_ms == pytest.approx(
+            trace.events()[0].at_ms
+        )
+        # Timestamps come from the network's public clock and are within
+        # the simulated time span.
+        assert all(0 <= e.at_ms <= sim.now for e in trace.events())
+
+    def test_detach_restores_send(self):
+        sim, _servers = build_omni_cluster(3)
+        original = sim.network.send
+        trace = MessageTrace.attach(sim.network)
+        assert sim.network.send != original
+        assert trace.attached
+        trace.detach()
+        # Bound methods compare equal when they wrap the same function on
+        # the same instance (identity differs per attribute access).
+        assert sim.network.send == original
+        assert not trace.attached
+
+    def test_detach_stops_recording(self):
+        sim, _servers = build_omni_cluster(3)
+        trace = MessageTrace.attach(sim.network)
+        run_until_leader(sim)
+        recorded = len(trace)
+        assert recorded > 0
+        trace.detach()
+        sim.run_for(500)
+        assert len(trace) == recorded
+
+    def test_detach_idempotent(self):
+        sim, _servers = build_omni_cluster(3)
+        trace = MessageTrace.attach(sim.network)
+        trace.detach()
+        trace.detach()  # no-op, no error
+
+    def test_detach_never_attached_is_noop(self):
+        trace = MessageTrace()
+        trace.detach()
+        assert not trace.attached
+
+    def test_detach_lifo_enforced(self):
+        sim, _servers = build_omni_cluster(3)
+        first = MessageTrace.attach(sim.network)
+        second = MessageTrace.attach(sim.network)
+        with pytest.raises(RuntimeError):
+            first.detach()
+        second.detach()
+        first.detach()
+        assert not first.attached and not second.attached
+
+    def test_stacked_traces_both_record(self):
+        sim, _servers = build_omni_cluster(3)
+        first = MessageTrace.attach(sim.network)
+        second = MessageTrace.attach(sim.network)
+        run_until_leader(sim)
+        assert len(first) > 0
+        assert len(second) > 0
