@@ -34,8 +34,17 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigError, NotLeaderError
-from repro.obs.events import BallotElected, RoleChanged
+from repro.obs.events import (
+    BallotElected,
+    EntryApplied,
+    ProposalAppended,
+    QuorumAccepted,
+    RecoveryCompleted,
+    RecoveryStarted,
+    RoleChanged,
+)
 from repro.obs.registry import Instrumented
+from repro.obs.spans import entry_trace_id
 from repro.omni.entry import entry_wire_size
 from repro.replica import Replica
 from repro.util.rng import spawn_rng
@@ -206,6 +215,10 @@ class MultiPaxosReplica(Replica, Instrumented):
         self._decided_out: List[Tuple[int, Any]] = []
         self._crashed = False
         self._started = False
+        #: Tracing-only: fan-out times of in-flight batches, and the
+        #: start of an open crash recovery (see repro.obs.spans).
+        self._trace_fanout: List[Tuple[int, float]] = []
+        self._trace_recovery: Optional[float] = None
         self.stats = MultiPaxosStats()
 
     # ------------------------------------------------------------------
@@ -309,6 +322,12 @@ class MultiPaxosReplica(Replica, Instrumented):
             raise NotLeaderError(leader=self._believed_leader)
         first = len(self._log)
         self._log.extend(entries)
+        if self._obs.tracing and entries:
+            self._trace_fanout.append((len(self._log), self._obs.now_ms()))
+            self._obs.emit(ProposalAppended(
+                pid=self.pid, from_idx=first, to_idx=len(self._log),
+                protocol="multipaxos", trace_id=entry_trace_id(entries[0]),
+            ))
         self._accept_locally(first, entries)
         self._broadcast(P2a(self._ballot, first, tuple(entries),
                             self._decided_upto))
@@ -323,6 +342,9 @@ class MultiPaxosReplica(Replica, Instrumented):
         if out and self._obs.enabled:
             self._obs.counter("repro_decided_entries_total",
                               pid=self.pid).inc(len(out))
+            if self._obs.tracing:
+                self._obs.emit(EntryApplied(
+                    pid=self.pid, log_idx=self._applied_upto, count=len(out)))
         return out
 
     # ------------------------------------------------------------------
@@ -337,6 +359,9 @@ class MultiPaxosReplica(Replica, Instrumented):
         if not self._crashed:
             return
         self._crashed = False
+        if self._obs.tracing and self._trace_recovery is None:
+            self._trace_recovery = self._obs.now_ms()
+            self._obs.emit(RecoveryStarted(pid=self.pid, reason="crash"))
         self._set_role(MPRole.FOLLOWER)
         self._believed_leader = None
         self._last_pong = now_ms - self._config.election_timeout_ms
@@ -352,6 +377,8 @@ class MultiPaxosReplica(Replica, Instrumented):
         if role is self._role:
             return
         self._role = role
+        if role is not MPRole.LEADER:
+            self._trace_fanout.clear()  # those batches died with the tenure
         if self._obs.enabled:
             self._obs.emit(RoleChanged(pid=self.pid, role=role.value,
                                        protocol="multipaxos"))
@@ -547,6 +574,17 @@ class MultiPaxosReplica(Replica, Instrumented):
         watermark = marks[self._config.majority - 1]
         if watermark > self._decided_upto:
             self._advance_decided(watermark)
+            if self._obs.tracing and self._decided_upto > 0:
+                self._obs.emit(QuorumAccepted(
+                    pid=self.pid, log_idx=self._decided_upto,
+                    protocol="multipaxos"))
+                now = self._obs.now_ms()
+                while self._trace_fanout and \
+                        self._trace_fanout[0][0] <= self._decided_upto:
+                    _, fanned_at = self._trace_fanout.pop(0)
+                    self._obs.histogram(
+                        "repro_commit_phase_ms", phase="replicate"
+                    ).observe(now - fanned_at)
             self._broadcast(P2a(self._ballot, len(self._log), (),
                                 self._decided_upto))
 
@@ -555,6 +593,13 @@ class MultiPaxosReplica(Replica, Instrumented):
         if upto <= self._decided_upto:
             return
         self._decided_upto = upto
+        if self._obs.tracing and self._trace_recovery is not None:
+            # First decided advance after a restart: caught up again.
+            self._obs.emit(RecoveryCompleted(pid=self.pid,
+                                             log_idx=self._decided_upto))
+            self._obs.histogram("repro_recovery_duration_ms").observe(
+                self._obs.now_ms() - self._trace_recovery)
+            self._trace_recovery = None
         while self._applied_upto < self._decided_upto:
             slot = self._applied_upto
             self._applied_upto += 1

@@ -30,8 +30,17 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigError, NotLeaderError
-from repro.obs.events import BallotElected, RoleChanged
+from repro.obs.events import (
+    BallotElected,
+    EntryApplied,
+    ProposalAppended,
+    QuorumAccepted,
+    RecoveryCompleted,
+    RecoveryStarted,
+    RoleChanged,
+)
 from repro.obs.registry import Instrumented
+from repro.obs.spans import entry_trace_id
 from repro.omni.entry import SnapshotInstalled, entry_wire_size
 from repro.replica import Replica
 from repro.util.rng import spawn_rng
@@ -333,6 +342,10 @@ class RaftReplica(Replica, Instrumented):
         self._snap_term = 0
         self._crashed = False
         self._started = False
+        #: Tracing-only: fan-out times of in-flight batches, and the
+        #: start of an open crash recovery (see repro.obs.spans).
+        self._trace_fanout: List[Tuple[int, float]] = []
+        self._trace_recovery: Optional[float] = None
         self.stats = RaftStats()
 
     # ------------------------------------------------------------------
@@ -447,6 +460,12 @@ class RaftReplica(Replica, Instrumented):
             raise NotLeaderError(leader=self._leader_id)
         start = len(self._log)
         self._log.extend(RaftSlot(self._term, entry) for entry in entries)
+        if self._obs.tracing and entries:
+            self._trace_fanout.append((len(self._log), self._obs.now_ms()))
+            self._obs.emit(ProposalAppended(
+                pid=self.pid, from_idx=start, to_idx=len(self._log),
+                protocol="raft", trace_id=entry_trace_id(entries[0]),
+            ))
         self._maybe_commit()
         self._broadcast_append(now_ms)
 
@@ -505,6 +524,9 @@ class RaftReplica(Replica, Instrumented):
         if out and self._obs.enabled:
             self._obs.counter("repro_decided_entries_total",
                               pid=self.pid).inc(len(out))
+            if self._obs.tracing:
+                self._obs.emit(EntryApplied(
+                    pid=self.pid, log_idx=out[-1][0] + 1, count=len(out)))
         return out
 
     # ------------------------------------------------------------------
@@ -520,6 +542,9 @@ class RaftReplica(Replica, Instrumented):
         if not self._crashed:
             return
         self._crashed = False
+        if self._obs.tracing and self._trace_recovery is None:
+            self._trace_recovery = self._obs.now_ms()
+            self._obs.emit(RecoveryStarted(pid=self.pid, reason="crash"))
         self._set_role(RaftRole.FOLLOWER)
         self._leader_id = None
         self._commit_idx = 0
@@ -555,6 +580,8 @@ class RaftReplica(Replica, Instrumented):
         if role is self._role:
             return
         self._role = role
+        if role is not RaftRole.LEADER:
+            self._trace_fanout.clear()  # those batches died with the tenure
         if self._obs.enabled:
             self._obs.emit(RoleChanged(pid=self.pid, role=role.value,
                                        protocol="raft"))
@@ -903,6 +930,24 @@ class RaftReplica(Replica, Instrumented):
         if idx <= self._commit_idx:
             return
         self._commit_idx = idx
+        if self._obs.tracing:
+            if self._role is RaftRole.LEADER:
+                self._obs.emit(QuorumAccepted(pid=self.pid, log_idx=idx,
+                                              protocol="raft"))
+                now = self._obs.now_ms()
+                while self._trace_fanout and self._trace_fanout[0][0] <= idx:
+                    _, fanned_at = self._trace_fanout.pop(0)
+                    self._obs.histogram(
+                        "repro_commit_phase_ms", phase="replicate"
+                    ).observe(now - fanned_at)
+            if self._trace_recovery is not None:
+                # First commit advance after a restart: the leader has
+                # resynchronized our log and commit watermark.
+                self._obs.emit(RecoveryCompleted(pid=self.pid,
+                                                 log_idx=len(self._log)))
+                self._obs.histogram("repro_recovery_duration_ms").observe(
+                    self._obs.now_ms() - self._trace_recovery)
+                self._trace_recovery = None
         while self._applied_idx < self._commit_idx:
             slot = self._log.slot_at(self._applied_idx + 1)
             self._applied_idx += 1

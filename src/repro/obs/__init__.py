@@ -37,12 +37,19 @@ formats, and overhead notes.
 from repro.obs.events import (
     BallotBumped,
     BallotElected,
+    ClientProposalSent,
     ClientReplyDecided,
+    EntryApplied,
     EventRecord,
     MigrationCompleted,
     MigrationDonorPicked,
+    MigrationSegmentReceived,
+    ProposalAppended,
     ProtocolEvent,
     QCFlagChanged,
+    QuorumAccepted,
+    RecoveryCompleted,
+    RecoveryStarted,
     RoleChanged,
     SessionDropped,
     StopSignDecided,
@@ -64,12 +71,24 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 from repro.obs.report import RunReport, summarize_run
+from repro.obs.spans import (
+    SPAN_KINDS,
+    Span,
+    TraceContext,
+    assemble_spans,
+    entry_trace_id,
+    observe_span_histograms,
+    span_quantile,
+)
+from repro.obs.timeline import render_spans, render_timeline
 
 __all__ = [
     "BallotBumped",
     "BallotElected",
+    "ClientProposalSent",
     "ClientReplyDecided",
     "Counter",
+    "EntryApplied",
     "EventRecord",
     "Gauge",
     "Histogram",
@@ -79,16 +98,30 @@ __all__ = [
     "MetricsRegistry",
     "MigrationCompleted",
     "MigrationDonorPicked",
+    "MigrationSegmentReceived",
     "NULL_REGISTRY",
+    "ProposalAppended",
     "ProtocolEvent",
     "QCFlagChanged",
+    "QuorumAccepted",
+    "RecoveryCompleted",
+    "RecoveryStarted",
     "RoleChanged",
     "RunReport",
+    "SPAN_KINDS",
     "SessionDropped",
+    "Span",
     "StopSignDecided",
+    "TraceContext",
+    "assemble_spans",
+    "entry_trace_id",
     "event_from_dict",
     "event_to_dict",
+    "observe_span_histograms",
     "read_jsonl",
     "render_prometheus",
+    "render_spans",
+    "render_timeline",
+    "span_quantile",
     "summarize_run",
 ]

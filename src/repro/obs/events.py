@@ -111,6 +111,20 @@ class MigrationCompleted(ProtocolEvent):
 
 
 @dataclass(frozen=True)
+class MigrationSegmentReceived(ProtocolEvent):
+    """Joining server ``pid`` received ``entries`` migrated log entries
+    starting at ``from_idx`` from ``donor`` — the per-donor signal that
+    lets the timeline break a migration into parallel segment transfers."""
+
+    kind: ClassVar[str] = "MigrationSegmentReceived"
+    pid: int = 0
+    config_id: int = 0
+    donor: int = 0
+    from_idx: int = 0
+    entries: int = 0
+
+
+@dataclass(frozen=True)
 class SessionDropped(ProtocolEvent):
     """Server ``pid`` observed the link session to ``peer`` drop and
     re-establish (triggers PrepareReq handling, paper section 4.1.3)."""
@@ -129,6 +143,85 @@ class ClientReplyDecided(ProtocolEvent):
     kind: ClassVar[str] = "ClientReplyDecided"
     client_id: int = 0
     seq: int = 0
+    #: Trace id of the command's causal chain (``c<client_id>-<seq>``);
+    #: empty on exports from before the tracing layer existed.
+    trace_id: str = ""
+
+
+# --------------------------------------------------------------------------
+# Tracing-only events (emitted only when ``MetricsRegistry.tracing`` is on;
+# see repro.obs.spans for the spans assembled from them). All fields carry
+# defaults so exports written before a field existed still load.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProposalAppended(ProtocolEvent):
+    """Leader ``pid`` appended entries ``[from_idx, to_idx)`` to its
+    replication log and fanned them out (AcceptDecide / AppendEntries /
+    P2a — ``protocol`` names which). Start of the commit-path span."""
+
+    kind: ClassVar[str] = "ProposalAppended"
+    pid: int = 0
+    from_idx: int = 0
+    to_idx: int = 0
+    protocol: str = "sp"
+    trace_id: str = ""
+
+
+@dataclass(frozen=True)
+class QuorumAccepted(ProtocolEvent):
+    """Leader ``pid`` observed a majority accept through ``log_idx`` and
+    advanced the decided index — the quorum milestone of a commit span."""
+
+    kind: ClassVar[str] = "QuorumAccepted"
+    pid: int = 0
+    log_idx: int = 0
+    protocol: str = "sp"
+
+
+@dataclass(frozen=True)
+class EntryApplied(ProtocolEvent):
+    """Server ``pid`` surfaced ``count`` decided entries (through
+    ``log_idx``) to the application — the apply milestone of a commit
+    span."""
+
+    kind: ClassVar[str] = "EntryApplied"
+    pid: int = 0
+    log_idx: int = 0
+    count: int = 0
+
+
+@dataclass(frozen=True)
+class RecoveryStarted(ProtocolEvent):
+    """Server ``pid`` began resynchronizing: ``reason`` is ``"crash"``
+    (restart, PrepareReq broadcast) or ``"session"`` (link session drop,
+    paper section 4.1.3)."""
+
+    kind: ClassVar[str] = "RecoveryStarted"
+    pid: int = 0
+    reason: str = "crash"
+
+
+@dataclass(frozen=True)
+class RecoveryCompleted(ProtocolEvent):
+    """Server ``pid`` finished resynchronizing (AcceptSync applied, or
+    re-elected with a fresh log) with ``log_idx`` entries."""
+
+    kind: ClassVar[str] = "RecoveryCompleted"
+    pid: int = 0
+    log_idx: int = 0
+
+
+@dataclass(frozen=True)
+class ClientProposalSent(ProtocolEvent):
+    """The closed-loop client sent commands ``[first_seq, first_seq +
+    count)`` — the start anchor of client round-trip spans."""
+
+    kind: ClassVar[str] = "ClientProposalSent"
+    client_id: int = 0
+    first_seq: int = 0
+    count: int = 1
 
 
 @dataclass(frozen=True)
@@ -149,8 +242,15 @@ EVENT_TYPES: Dict[str, Type[ProtocolEvent]] = {
         StopSignDecided,
         MigrationDonorPicked,
         MigrationCompleted,
+        MigrationSegmentReceived,
         SessionDropped,
         ClientReplyDecided,
+        ProposalAppended,
+        QuorumAccepted,
+        EntryApplied,
+        RecoveryStarted,
+        RecoveryCompleted,
+        ClientProposalSent,
     )
 }
 

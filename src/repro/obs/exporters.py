@@ -159,15 +159,26 @@ def _escape(value: str) -> str:
 
 
 def _fmt_value(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN (the format spells it exactly "NaN")
+        return "NaN"
     if value == float("inf"):
         return "+Inf"
-    if float(value).is_integer():
+    if value == float("-inf"):
+        return "-Inf"
+    if value.is_integer():
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
 
 
 def render_prometheus(registry: MetricsRegistry) -> str:
-    """The registry's current state in Prometheus text format 0.0.4."""
+    """The registry's current state in Prometheus text format 0.0.4.
+
+    Strictly conformant output: one ``# TYPE`` line per metric family
+    before its samples, escaped label values, and for histograms
+    *cumulative* ``le`` buckets ending in exactly one ``+Inf`` bucket
+    that equals the ``_count`` sample, plus ``_sum``/``_count`` lines.
+    """
     by_name: Dict[str, List[Any]] = {}
     for metric in registry.metrics():
         by_name.setdefault(metric.name, []).append(metric)
@@ -187,13 +198,13 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             for m in metrics:
                 cumulative = 0
                 for bound, count in m.nonempty_buckets():
+                    if bound == float("inf"):
+                        break  # the overflow bucket is the +Inf line below
                     cumulative += count
                     le = _fmt_labels(m.labels, ("le", _fmt_value(bound)))
                     lines.append(f"{name}_bucket{le} {cumulative}")
-                if not m.nonempty_buckets() or \
-                        m.nonempty_buckets()[-1][0] != float("inf"):
-                    le = _fmt_labels(m.labels, ("le", "+Inf"))
-                    lines.append(f"{name}_bucket{le} {m.count}")
+                le = _fmt_labels(m.labels, ("le", "+Inf"))
+                lines.append(f"{name}_bucket{le} {m.count}")
                 lines.append(f"{name}_sum{_fmt_labels(m.labels)} {_fmt_value(m.sum)}")
                 lines.append(f"{name}_count{_fmt_labels(m.labels)} {m.count}")
     return "\n".join(lines) + ("\n" if lines else "")

@@ -155,11 +155,26 @@ class MetricsRegistry:
     #: Emission sites are guarded by this flag; the null registry is the
     #: only one where it is False.
     enabled: bool = True
+    #: Opt-in high-volume tracing (commit-path, recovery, client-batch
+    #: events plus TraceContext stamping on envelopes). Class-level
+    #: default False so hot-path guards ``if self._obs.tracing:`` cost a
+    #: single attribute read and tracing-only work vanishes by default —
+    #: the same zero-overhead contract as ``enabled``.
+    tracing: bool = False
 
     def __init__(self, clock: Optional[Callable[[], float]] = None):
         self._clock: Callable[[], float] = clock or _wall_clock_ms
         self._metrics: Dict[MetricKey, Any] = {}
         self._sinks: List[Any] = []
+
+    # -- tracing -------------------------------------------------------------
+
+    def enable_tracing(self) -> None:
+        """Turn on causal tracing (span events + envelope trace stamping)."""
+        self.tracing = True
+
+    def disable_tracing(self) -> None:
+        self.tracing = False
 
     # -- clock ---------------------------------------------------------------
 
@@ -238,12 +253,16 @@ class _NullRegistry(MetricsRegistry):
     """
 
     enabled = False
+    tracing = False
 
     def __init__(self) -> None:
         super().__init__(clock=lambda: 0.0)
 
     def set_clock(self, clock: Callable[[], float]) -> None:
         pass
+
+    def enable_tracing(self) -> None:
+        pass  # the shared null registry must never start emitting
 
     def add_sink(self, sink: Any) -> None:
         pass

@@ -1,0 +1,225 @@
+"""ASCII timeline and span-Gantt reconstruction from exported runs.
+
+Given the JSON-lines export of any run (sim harness, live runtime,
+benchmark), :func:`render_timeline` draws the scenario the way the paper
+narrates it — who led when, which servers lost quorum-connectivity, where
+client throughput stopped — and :func:`render_spans` draws the
+reconstructed spans (see :mod:`repro.obs.spans`) as Gantt bars::
+
+    timeline 0.0 .. 9000.0 ms  (60 cols, 150.0 ms/col)
+    leader   |   3333333333333333333333333333333333333333333333333333333|
+    qc s1    |###########################################################|
+    qc s3    |############----------------------#########################|
+    decided  |.#########################        .########################|
+    downtime |                          xxxxxxxxx                        |
+
+Down-time is *the* paper metric (Figure 8), so the window is computed
+with the harness's own :class:`~repro.sim.metrics.DecidedTracker` (via
+:func:`~repro.obs.report.decided_tracker_from_events`) — the rendered gap
+is bit-identical to what the benchmarks report.
+
+Everything here is pure string building over parsed events; nothing
+touches live protocol state. Output is plain ASCII so it survives any
+terminal, pipe, or CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import (
+    BallotElected,
+    ClientReplyDecided,
+    EventRecord,
+    QCFlagChanged,
+)
+from repro.obs.report import decided_tracker_from_events
+from repro.obs.spans import SPAN_COMMIT, SPAN_KINDS, Span, span_quantile
+
+#: Decided-throughput density ramp (events per column -> glyph).
+_DENSITY = " .:+#"
+
+
+class _Scale:
+    """Maps timestamps onto a fixed-width column grid."""
+
+    def __init__(self, start_ms: float, end_ms: float, width: int):
+        self.start_ms = start_ms
+        # Degenerate ranges (single-instant exports) still get one column.
+        self.end_ms = end_ms if end_ms > start_ms else start_ms + 1.0
+        self.width = max(width, 10)
+        self.ms_per_col = (self.end_ms - self.start_ms) / self.width
+
+    def col(self, at_ms: float) -> int:
+        c = int((at_ms - self.start_ms) / self.ms_per_col)
+        return min(max(c, 0), self.width - 1)
+
+    def header(self) -> str:
+        return (f"timeline {self.start_ms:.1f} .. {self.end_ms:.1f} ms"
+                f"  ({self.width} cols, {self.ms_per_col:.1f} ms/col)")
+
+
+def _step_lane(scale: _Scale, changes: Sequence[Tuple[float, str]],
+               initial: str = " ") -> str:
+    """A lane whose glyph is the last change at/before each column start."""
+    cells = [initial] * scale.width
+    idx = 0
+    current = initial
+    for c in range(scale.width):
+        col_end = scale.start_ms + (c + 1) * scale.ms_per_col
+        while idx < len(changes) and changes[idx][0] < col_end:
+            current = changes[idx][1]
+            idx += 1
+        cells[c] = current
+    return "".join(cells)
+
+
+def _density_lane(scale: _Scale, times: Sequence[float]) -> str:
+    counts = [0] * scale.width
+    for t in times:
+        if scale.start_ms <= t <= scale.end_ms:
+            counts[scale.col(t)] += 1
+    peak = max(counts) if any(counts) else 0
+    if peak == 0:
+        return " " * scale.width
+    ramp = len(_DENSITY) - 1
+    return "".join(
+        _DENSITY[0 if n == 0 else max(1, round(n / peak * ramp))]
+        for n in counts
+    )
+
+
+def _interval_lane(scale: _Scale, start_ms: float, end_ms: float,
+                   glyph: str = "x") -> str:
+    cells = [" "] * scale.width
+    lo = scale.col(start_ms)
+    hi = scale.col(end_ms)
+    for c in range(lo, hi + 1):
+        cells[c] = glyph
+    return "".join(cells)
+
+
+def _lane(label: str, cells: str) -> str:
+    return f"{label:<9s}|{cells}|"
+
+
+def render_timeline(
+    events: Sequence[EventRecord],
+    width: int = 60,
+    start_ms: Optional[float] = None,
+    end_ms: Optional[float] = None,
+    spans: Sequence[Span] = (),
+) -> str:
+    """The scenario timeline: leader tenure, QC flags, decided density,
+    and the longest down-time window.
+
+    ``spans`` (from :func:`~repro.obs.spans.assemble_spans`) is optional;
+    when given, a span-count summary and the critical path of the p99
+    commit span are appended — the "why was the tail slow" answer.
+    """
+    if not events:
+        return "(no events)"
+    if start_ms is None:
+        start_ms = events[0].at_ms
+    if end_ms is None:
+        end_ms = events[-1].at_ms
+    scale = _Scale(start_ms, end_ms, width)
+    lines = [scale.header()]
+
+    # Leader lane: the latest BallotElected observation wins; the glyph is
+    # the leader's pid (mod 10), so tenure changes read directly off the row.
+    elections = [
+        (r.at_ms, str(r.event.leader % 10))
+        for r in events if isinstance(r.event, BallotElected)
+    ]
+    lines.append(_lane("leader", _step_lane(scale, elections)))
+
+    # One QC lane per server that ever flipped (servers start connected).
+    qc_changes: Dict[int, List[Tuple[float, str]]] = {}
+    for r in events:
+        if isinstance(r.event, QCFlagChanged):
+            glyph = "#" if r.event.quorum_connected else "-"
+            qc_changes.setdefault(r.event.pid, []).append((r.at_ms, glyph))
+    for pid in sorted(qc_changes):
+        lines.append(_lane(f"qc s{pid}",
+                           _step_lane(scale, qc_changes[pid], initial="#")))
+
+    # Decided-reply density and the harness-identical down-time window.
+    decided = [r.at_ms for r in events
+               if isinstance(r.event, ClientReplyDecided)]
+    lines.append(_lane("decided", _density_lane(scale, decided)))
+    tracker = decided_tracker_from_events(events)
+    gap_start, gap_end = tracker.downtime_window(scale.start_ms, scale.end_ms)
+    lines.append(_lane("downtime", _interval_lane(scale, gap_start, gap_end)))
+    lines.append(
+        f"longest down-time: {gap_end - gap_start:.1f} ms"
+        f"  [{gap_start:.1f} .. {gap_end:.1f}]"
+    )
+
+    if spans:
+        counts = {kind: 0 for kind in SPAN_KINDS}
+        for span in spans:
+            counts[span.kind] = counts.get(span.kind, 0) + 1
+        summary = ", ".join(f"{n} {kind}" for kind, n in counts.items() if n)
+        lines.append(f"spans: {summary}")
+        commits = [s for s in spans if s.kind == SPAN_COMMIT]
+        p99 = span_quantile(commits, 0.99)
+        if p99 is not None:
+            lines.append(
+                f"p99 commit ({p99.duration_ms:.2f} ms, trace"
+                f" {p99.trace_id or '?'}, leader s{p99.pid},"
+                f" entries [{p99.attr('from_idx')}..{p99.attr('to_idx')})):"
+            )
+            for phase, duration in p99.phase_durations():
+                lines.append(f"  {phase:<10s} {duration:8.2f} ms")
+    return "\n".join(lines)
+
+
+def render_spans(
+    spans: Sequence[Span],
+    width: int = 60,
+    limit: int = 30,
+    kinds: Optional[Sequence[str]] = None,
+) -> str:
+    """Gantt bars for reconstructed spans, grouped by kind.
+
+    Each kind gets a duration summary (count, p50, p99) plus up to
+    ``limit`` chronological bars; a note says how many were elided, so a
+    truncated view never reads as a complete one.
+    """
+    if kinds is not None:
+        spans = [s for s in spans if s.kind in kinds]
+    if not spans:
+        return "(no spans)"
+    start_ms = min(s.start_ms for s in spans)
+    end_ms = max(s.end_ms for s in spans)
+    scale = _Scale(start_ms, end_ms, width)
+    lines = [scale.header().replace("timeline", "spans", 1)]
+    by_kind: Dict[str, List[Span]] = {}
+    for span in spans:
+        by_kind.setdefault(span.kind, []).append(span)
+    order = [k for k in SPAN_KINDS if k in by_kind]
+    order += [k for k in sorted(by_kind) if k not in order]
+    for kind in order:
+        group = by_kind[kind]
+        p50 = span_quantile(group, 0.50)
+        p99 = span_quantile(group, 0.99)
+        lines.append(
+            f"{kind} ({len(group)} spans, p50 {p50.duration_ms:.2f} ms,"
+            f" p99 {p99.duration_ms:.2f} ms)"
+        )
+        for span in group[:limit]:
+            cells = [" "] * scale.width
+            lo = scale.col(span.start_ms)
+            hi = scale.col(span.end_ms)
+            for c in range(lo, hi + 1):
+                cells[c] = "="
+            # Phase milestones interrupt the bar so hand-offs are visible.
+            for _name, at in span.phases[1:]:
+                cells[scale.col(at)] = "+"
+            label = span.trace_id or f"s{span.pid}"
+            lines.append(f"  |{''.join(cells)}| {span.duration_ms:8.2f} ms"
+                         f"  {label}")
+        if len(group) > limit:
+            lines.append(f"  ... {len(group) - limit} more elided")
+    return "\n".join(lines)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
+from repro.obs.spans import TraceContext
 from repro.omni.ballot import Ballot
 from repro.omni.entry import entry_wire_size
 
@@ -295,6 +296,14 @@ class Envelope:
     config_id: int
     component: str
     payload: Any
+    #: Optional causal-tracing context (see :mod:`repro.obs.spans`).
+    #: The class-level ``None`` default doubles as the backward-compat
+    #: fallback: envelopes pickled before this field existed deserialize
+    #: without an instance attribute and read ``None`` from the class.
+    trace: Optional["TraceContext"] = None
 
     def wire_size(self) -> int:
-        return 6 + self.payload.wire_size()
+        base = 6 + self.payload.wire_size()
+        if self.trace is not None:
+            base += TraceContext.WIRE_SIZE
+        return base

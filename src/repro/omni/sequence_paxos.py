@@ -32,8 +32,16 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CompactionError, ConfigError, NotLeaderError, StoppedError
-from repro.obs.events import RoleChanged
+from repro.obs.events import (
+    EntryApplied,
+    ProposalAppended,
+    QuorumAccepted,
+    RecoveryCompleted,
+    RecoveryStarted,
+    RoleChanged,
+)
 from repro.obs.registry import Instrumented
+from repro.obs.spans import entry_trace_id
 from repro.omni.ballot import Ballot, BOTTOM
 from repro.omni.entry import SnapshotInstalled, StopSign, is_stopsign
 from repro.omni.messages import (
@@ -164,6 +172,12 @@ class SequencePaxos(Instrumented):
         self._pending_snapshot: Optional[Tuple[int, SnapshotInstalled]] = None
         #: Index of a stop-sign in the local log, if any.
         self._ss_idx: Optional[int] = self._find_stopsign()
+        #: Tracing-only: fan-out times of in-flight batches awaiting a
+        #: quorum, as ``(log_idx, at_ms)`` — populated only when
+        #: ``self._obs.tracing`` is on (bounded by the pipeline depth).
+        self._trace_fanout: List[Tuple[int, float]] = []
+        #: Tracing-only: ``(started_ms, reason)`` of an open recovery.
+        self._trace_recovery: Optional[Tuple[float, str]] = None
         self.stats = SequencePaxosStats()
 
     # ------------------------------------------------------------------
@@ -380,6 +394,9 @@ class SequencePaxos(Instrumented):
         if out and self._obs.enabled:
             self._obs.counter("repro_decided_entries_total",
                               pid=self.pid).inc(len(out))
+            if self._obs.tracing:
+                self._obs.emit(EntryApplied(
+                    pid=self.pid, log_idx=self._applied_idx, count=len(out)))
         return out
 
     # ------------------------------------------------------------------
@@ -391,6 +408,7 @@ class SequencePaxos(Instrumented):
         self._set_role(Role.FOLLOWER)
         self._phase = Phase.RECOVER
         self._current_round = self._storage.get_promise()
+        self._trace_recovery_start("crash")
         for peer in self._config.peers:
             self._send(peer, PrepareReq())
 
@@ -404,7 +422,32 @@ class SequencePaxos(Instrumented):
         if self.is_leader:
             self._send_prepare(peer)
         else:
+            # Only a restored session *to the leader* starts a resync; a
+            # follower-follower reconnect sends the (ignored) PrepareReq
+            # but involves no recovery to span.
+            if self.leader_pid == peer:
+                self._trace_recovery_start("session")
             self._send(peer, PrepareReq())
+
+    def _trace_recovery_start(self, reason: str) -> None:
+        """Tracing-only: open a recovery span (PrepareReq out)."""
+        if not self._obs.tracing or self._trace_recovery is not None:
+            return
+        self._trace_recovery = (self._obs.now_ms(), reason)
+        self._obs.emit(RecoveryStarted(pid=self.pid, reason=reason))
+
+    def _trace_recovery_end(self) -> None:
+        """Tracing-only: close an open recovery span (resynchronized)."""
+        if self._trace_recovery is None:
+            return
+        started_ms, _reason = self._trace_recovery
+        self._trace_recovery = None
+        if not self._obs.tracing:
+            return
+        self._obs.emit(RecoveryCompleted(
+            pid=self.pid, log_idx=self._storage.log_len()))
+        self._obs.histogram("repro_recovery_duration_ms").observe(
+            self._obs.now_ms() - started_ms)
 
     # ------------------------------------------------------------------
     # internals: outbound helpers
@@ -473,6 +516,7 @@ class SequencePaxos(Instrumented):
         self._lds = {}
         self._synced_peers = set()
         self._accept_seq = {}
+        self._trace_fanout = []  # stale fan-out times from an older tenure
         for peer in self._config.peers:
             self._send_prepare(peer)
         if len(self._promises) >= self._config.majority:
@@ -548,6 +592,9 @@ class SequencePaxos(Instrumented):
                 self.stats.proposals_rejected += rejected
                 self._append(kept)
         self._phase = Phase.ACCEPT
+        # A recovering server that won the election resynchronized itself
+        # through the majority's promises — its recovery is over too.
+        self._trace_recovery_end()
         self._las = {self.pid: self._storage.log_len()}
         for pid, meta in self._promises.items():
             if pid != self.pid:
@@ -595,8 +642,16 @@ class SequencePaxos(Instrumented):
         self.stats.proposals_rejected += rejected
         if not entries:
             return
+        start_idx = self._storage.log_len()
         self._append(entries)
         self._las[self.pid] = self._storage.log_len()
+        if self._obs.tracing:
+            end_idx = self._storage.log_len()
+            self._trace_fanout.append((end_idx, self._obs.now_ms()))
+            self._obs.emit(ProposalAppended(
+                pid=self.pid, from_idx=start_idx, to_idx=end_idx,
+                protocol="sp", trace_id=entry_trace_id(entries[0]),
+            ))
         decided_idx = self._storage.get_decided_idx()
         batch = tuple(entries)
         for pid in self._synced_peers:
@@ -630,6 +685,14 @@ class SequencePaxos(Instrumented):
         if accepted < self._config.majority:
             return
         self._storage.set_decided_idx(candidate_idx)
+        if self._obs.tracing:
+            self._obs.emit(QuorumAccepted(
+                pid=self.pid, log_idx=candidate_idx, protocol="sp"))
+            now = self._obs.now_ms()
+            while self._trace_fanout and self._trace_fanout[0][0] <= candidate_idx:
+                _, fanned_at = self._trace_fanout.pop(0)
+                self._obs.histogram("repro_commit_phase_ms",
+                                    phase="replicate").observe(now - fanned_at)
         msg = Decide(n=self._current_round, decided_idx=candidate_idx)
         for pid in self._synced_peers:
             self._send(pid, msg)
@@ -795,6 +858,7 @@ class SequencePaxos(Instrumented):
         self._phase = Phase.ACCEPT
         self._expected_seq = 0
         self._resync_requested = False
+        self._trace_recovery_end()
         if msg.decided_idx > self._storage.get_decided_idx():
             self._storage.set_decided_idx(min(msg.decided_idx, self._storage.log_len()))
         self._send(src, Accepted(n=msg.n, log_idx=self._storage.log_len(),

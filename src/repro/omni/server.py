@@ -32,10 +32,12 @@ from repro.errors import ConfigError, NotLeaderError
 from repro.obs.events import (
     MigrationCompleted,
     MigrationDonorPicked,
+    MigrationSegmentReceived,
     SessionDropped,
     StopSignDecided,
 )
 from repro.obs.registry import Instrumented, MetricsRegistry
+from repro.obs.spans import TraceContext, entry_trace_id
 from repro.omni.ballot import Ballot
 from repro.omni.ble import BallotLeaderElection, BLEConfig
 from repro.omni.entry import StopSign, is_stopsign
@@ -161,6 +163,10 @@ class OmniPaxosServer(Replica, Instrumented):
         self._flush_buffer: List[Any] = []
         self._next_flush_at: Optional[float] = None
         self._outbox: List[Tuple[int, Envelope]] = []
+        #: Tracing-only: the context to stamp on outgoing envelopes while
+        #: handling one message/proposal (None outside tracing).
+        self._active_trace: Optional[TraceContext] = None
+        self._span_counter = 0
         self._now = 0.0
         self._started = False
         self._crashed = False
@@ -281,18 +287,25 @@ class OmniPaxosServer(Replica, Instrumented):
         self._now = now_ms
         if not isinstance(msg, Envelope):
             raise TypeError(f"OmniPaxosServer expects Envelope, got {type(msg)!r}")
-        if msg.component == COMPONENT_SERVICE:
-            self._on_service(src, msg.payload, now_ms)
-        else:
-            inst = self._instances.get(msg.config_id)
-            if inst is None:
-                self.stats.dropped_cross_config += 1
-            elif msg.component == COMPONENT_BLE:
-                if inst.active:
-                    inst.ble.on_message(src, msg.payload)
-            elif msg.component == COMPONENT_SP:
-                inst.sp.on_message(src, msg.payload)
-        self._pump()
+        if self._obs.tracing and msg.trace is not None:
+            # Continue the incoming message's causal chain: everything this
+            # handling turn sends is a child hop of the received context.
+            self._active_trace = msg.trace.child(self._next_span_id())
+        try:
+            if msg.component == COMPONENT_SERVICE:
+                self._on_service(src, msg.payload, now_ms)
+            else:
+                inst = self._instances.get(msg.config_id)
+                if inst is None:
+                    self.stats.dropped_cross_config += 1
+                elif msg.component == COMPONENT_BLE:
+                    if inst.active:
+                        inst.ble.on_message(src, msg.payload)
+                elif msg.component == COMPONENT_SP:
+                    inst.sp.on_message(src, msg.payload)
+            self._pump()
+        finally:
+            self._active_trace = None
 
     def propose(self, entry: Any, now_ms: float) -> None:
         """Propose a client entry.
@@ -322,8 +335,13 @@ class OmniPaxosServer(Replica, Instrumented):
             if self._next_flush_at is None:
                 self._next_flush_at = now_ms + self._config.flush_interval_ms
             return
-        inst.sp.propose(entry)
-        self._pump()
+        if self._obs.tracing:
+            self._active_trace = self._root_trace(entry)
+        try:
+            inst.sp.propose(entry)
+            self._pump()
+        finally:
+            self._active_trace = None
 
     def propose_batch(self, entries: List[Any], now_ms: float) -> None:
         """Propose several entries in one replication message."""
@@ -335,8 +353,13 @@ class OmniPaxosServer(Replica, Instrumented):
             for entry in entries:
                 self.propose(entry, now_ms)
             return
-        inst.sp.propose_batch(entries)
-        self._pump()
+        if self._obs.tracing and entries:
+            self._active_trace = self._root_trace(entries[0])
+        try:
+            inst.sp.propose_batch(entries)
+            self._pump()
+        finally:
+            self._active_trace = None
 
     def holds_read_lease(self, now_ms: float, safety: float = 0.8) -> bool:
         """Whether this leader may serve *local* linearizable reads.
@@ -525,9 +548,31 @@ class OmniPaxosServer(Replica, Instrumented):
             sp.propose_batch(pending)
         self._pump()
 
+    def _next_span_id(self) -> str:
+        self._span_counter += 1
+        return f"{self.pid}.{self._span_counter}"
+
+    def _root_trace(self, entry: Any) -> TraceContext:
+        """A fresh root context for a locally proposed entry. Client
+        commands get the canonical ``c<cid>-<seq>`` id so their envelope
+        hops and client-side span events share one trace."""
+        span_id = self._next_span_id()
+        return TraceContext(entry_trace_id(entry) or f"p{span_id}",
+                            span_id=span_id)
+
+    def _post(self, dst: int, env: Envelope) -> None:
+        """Queue an outgoing envelope, stamping the active trace context.
+
+        ``_active_trace`` is only ever set while tracing is enabled, so
+        the untraced hot path pays one ``is None`` check.
+        """
+        if self._active_trace is not None and env.trace is None:
+            env = replace(env, trace=self._active_trace)
+        self._outbox.append((dst, env))
+
     def _send_service(self, dst: int, payload: Any) -> None:
         cid = self._current_cid if self._current_cid is not None else 0
-        self._outbox.append((dst, Envelope(cid, COMPONENT_SERVICE, payload)))
+        self._post(dst, Envelope(cid, COMPONENT_SERVICE, payload))
 
     def _pump(self) -> None:
         """Move data between components and fill the outbox.
@@ -544,9 +589,9 @@ class OmniPaxosServer(Replica, Instrumented):
                         inst.sp.handle_leader(ballot)
                         progressed = True
                     for dst, msg in inst.ble.take_outbox():
-                        self._outbox.append((dst, Envelope(cid, COMPONENT_BLE, msg)))
+                        self._post(dst, Envelope(cid, COMPONENT_BLE, msg))
                 for dst, msg in inst.sp.take_outbox():
-                    self._outbox.append((dst, Envelope(cid, COMPONENT_SP, msg)))
+                    self._post(dst, Envelope(cid, COMPONENT_SP, msg))
                 for local_idx, entry in inst.sp.take_decided():
                     progressed = True
                     global_idx = inst.global_offset + local_idx
@@ -611,6 +656,11 @@ class OmniPaxosServer(Replica, Instrumented):
             self._send_service(src, segment)
         elif isinstance(msg, LogSegment):
             if self._migration is not None:
+                if self._obs.tracing:
+                    self._obs.emit(MigrationSegmentReceived(
+                        pid=self.pid, config_id=msg.config_id, donor=src,
+                        from_idx=msg.from_idx, entries=len(msg.entries),
+                    ))
                 self._migration.on_segment(src, msg, now_ms)
                 self._drain_migration(now_ms)
         elif isinstance(msg, JoinComplete):

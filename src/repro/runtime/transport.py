@@ -96,11 +96,18 @@ class TcpMesh(Instrumented):
             self._obs.counter("repro_bytes_sent_total",
                               src=self._pid).inc(len(frame))
         if writer is None:
+            # Same vocabulary as SimNetwork's drop accounting, so sim and
+            # runtime exports answer "why did messages vanish" identically.
+            self._obs.counter("repro_messages_dropped_total", src=self._pid,
+                              reason="disconnected").inc()
             return
         try:
             writer.write(frame)
         except (ConnectionError, RuntimeError):
             self._writers.pop(dst, None)
+            if self._obs.enabled:
+                self._obs.counter("repro_messages_dropped_total",
+                                  src=self._pid, reason="write_failed").inc()
 
     @property
     def connected_peers(self) -> Tuple[int, ...]:

@@ -69,16 +69,27 @@ class DecidedTracker:
         to the observation interval; if nothing was decided at all, the
         whole interval is down-time.
         """
+        gap_start, gap_end = self.downtime_window(start_ms, end_ms)
+        return gap_end - gap_start
+
+    def downtime_window(self, start_ms: float,
+                        end_ms: float) -> Tuple[float, float]:
+        """The ``(gap_start, gap_end)`` interval whose length
+        :meth:`downtime` reports — lets timelines draw *where* the
+        down-time happened, not just how long it was. Ties go to the
+        earliest gap."""
         lo = bisect.bisect_left(self._times, start_ms)
         hi = bisect.bisect_left(self._times, end_ms)
         inside = self._times[lo:hi]
         if not inside:
-            return end_ms - start_ms
-        longest = inside[0] - start_ms
+            return (start_ms, end_ms)
+        best = (start_ms, inside[0])
         for prev, cur in zip(inside, inside[1:]):
-            longest = max(longest, cur - prev)
-        longest = max(longest, end_ms - inside[-1])
-        return longest
+            if cur - prev > best[1] - best[0]:
+                best = (prev, cur)
+        if end_ms - inside[-1] > best[1] - best[0]:
+            best = (inside[-1], end_ms)
+        return best
 
     def recovery_time(self, partition_at_ms: float,
                       end_ms: float) -> Optional[float]:

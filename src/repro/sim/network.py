@@ -80,6 +80,14 @@ class SimNetwork(Instrumented):
         self._deliver: Optional[Callable[[int, int, Any], None]] = None
         #: Called with (a, b) when a down link comes back up.
         self._session_restored: Optional[Callable[[int, int], None]] = None
+        #: Called with (now_ms, src, dst, msg, reason) whenever the link
+        #: model drops a message — lets MessageTrace show *why* messages
+        #: vanished. Plain public attribute so a wrapper can save and
+        #: restore the previous callback (same stacking discipline as
+        #: wrapping ``send``).
+        self.drop_callback: Optional[
+            Callable[[float, int, int, Any, str], None]
+        ] = None
         self.messages_sent = 0
         self.messages_dropped = 0
 
@@ -174,11 +182,11 @@ class SimNetwork(Instrumented):
                               kind=type(payload).__name__).inc()
             self._obs.counter("repro_bytes_sent_total", src=src).inc(nbytes)
         if not self.is_up(src, dst):
-            self.messages_dropped += 1
+            self._drop(src, dst, msg, "link_down")
             return
         if self._params.loss_rate > 0.0 and self._rng is not None \
                 and self._rng.random() < self._params.loss_rate:
-            self.messages_dropped += 1
+            self._drop(src, dst, msg, "loss")
             return
         send_done = self._queue.now
         if self._params.egress_bytes_per_ms is not None:
@@ -197,11 +205,22 @@ class SimNetwork(Instrumented):
         self._last_delivery[key] = arrival
         self._queue.schedule(arrival, lambda: self._try_deliver(src, dst, msg))
 
+    def _drop(self, src: int, dst: int, msg: Any, reason: str) -> None:
+        """Account one dropped message (``reason``: ``link_down`` for a
+        partitioned link at send time, ``loss`` for random loss,
+        ``in_flight_cut`` for a link cut while the message was in the air)."""
+        self.messages_dropped += 1
+        if self._obs.enabled:
+            self._obs.counter("repro_messages_dropped_total", src=src,
+                              reason=reason).inc()
+        if self.drop_callback is not None:
+            self.drop_callback(self._queue.now, src, dst, msg, reason)
+
     def _try_deliver(self, src: int, dst: int, msg: Any) -> None:
         # A message in flight when the link was cut is lost (the TCP session
         # breaks); check connectivity again at delivery time.
         if not self.is_up(src, dst):
-            self.messages_dropped += 1
+            self._drop(src, dst, msg, "in_flight_cut")
             return
         if self._deliver is not None:
             self._deliver(src, dst, msg)

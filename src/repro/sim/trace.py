@@ -26,17 +26,34 @@ from repro.sim.network import SimNetwork
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One sent message."""
+    """One sent (or dropped) message.
+
+    ``kind`` is the payload type name for sends, or ``drop:<reason>``
+    when the link model discarded the message (``link_down``, ``loss``,
+    ``in_flight_cut``); for drops ``detail`` still describes the payload,
+    so timelines show what vanished and why. ``trace_id`` is the causal
+    trace carried by the message's envelope, when present.
+    """
 
     at_ms: float
     src: int
     dst: int
     kind: str
     detail: str
+    trace_id: str = ""
 
     def __str__(self) -> str:
-        return (f"{self.at_ms:10.1f}ms  {self.src}->{self.dst}  "
+        line = (f"{self.at_ms:10.1f}ms  {self.src}->{self.dst}  "
                 f"{self.kind:<16s} {self.detail}")
+        if self.trace_id:
+            line += f"  ~{self.trace_id}"
+        return line
+
+
+def _trace_id_of(msg: Any) -> str:
+    """The envelope's causal trace id, when the message carries one."""
+    ctx = getattr(msg, "trace", None)
+    return ctx.trace_id if ctx is not None else ""
 
 
 def _describe(msg: Any) -> Tuple[str, str]:
@@ -68,27 +85,41 @@ class MessageTrace:
         self._network: Optional[SimNetwork] = None
         self._original_send = None
         self._wrapper = None
+        self._original_drop = None
+        self._drop_wrapper = None
 
     # -- attachment ----------------------------------------------------------
 
     @classmethod
     def attach(cls, network: SimNetwork, capacity: int = 10_000) -> "MessageTrace":
-        """Wrap ``network.send`` so every message is recorded.
+        """Wrap ``network.send`` so every message is recorded, and hook the
+        network's drop callback so link drops appear as ``drop:<reason>``
+        events.
 
         Keep the returned trace and call :meth:`detach` to restore the
         original send path. Traces stack; detach in reverse attach order.
         """
         trace = cls(capacity=capacity)
         original = network.send
+        original_drop = network.drop_callback
 
         def traced_send(src: int, dst: int, msg: Any) -> None:
             trace.record(network.now, src, dst, msg)
             original(src, dst, msg)
 
+        def traced_drop(at_ms: float, src: int, dst: int, msg: Any,
+                        reason: str) -> None:
+            trace.record_drop(at_ms, src, dst, msg, reason)
+            if original_drop is not None:
+                original_drop(at_ms, src, dst, msg, reason)
+
         network.send = traced_send  # type: ignore[method-assign]
+        network.drop_callback = traced_drop
         trace._network = network
         trace._original_send = original
         trace._wrapper = traced_send
+        trace._original_drop = original_drop
+        trace._drop_wrapper = traced_drop
         return trace
 
     def detach(self) -> None:
@@ -106,9 +137,13 @@ class MessageTrace:
                 "trace attached (detach the newer wrapper first)"
             )
         self._network.send = self._original_send  # type: ignore[method-assign]
+        if self._network.drop_callback is self._drop_wrapper:
+            self._network.drop_callback = self._original_drop
         self._network = None
         self._original_send = None
         self._wrapper = None
+        self._original_drop = None
+        self._drop_wrapper = None
 
     @property
     def attached(self) -> bool:
@@ -118,7 +153,18 @@ class MessageTrace:
         if not self._enabled:
             return
         kind, detail = _describe(msg)
-        self._events.append(TraceEvent(at_ms, src, dst, kind, detail))
+        self._events.append(
+            TraceEvent(at_ms, src, dst, kind, detail, _trace_id_of(msg)))
+
+    def record_drop(self, at_ms: float, src: int, dst: int, msg: Any,
+                    reason: str) -> None:
+        """Record a message the link model discarded (kind ``drop:<reason>``)."""
+        if not self._enabled:
+            return
+        kind, detail = _describe(msg)
+        self._events.append(TraceEvent(
+            at_ms, src, dst, f"drop:{reason}", f"{kind} {detail}".rstrip(),
+            _trace_id_of(msg)))
 
     def pause(self) -> None:
         self._enabled = False

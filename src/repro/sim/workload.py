@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
 from repro.errors import ConfigError, ReproError
-from repro.obs.events import ClientReplyDecided
+from repro.obs.events import ClientProposalSent, ClientReplyDecided
 from repro.obs.registry import Instrumented
 from repro.omni.entry import Command
 from repro.sim.cluster import SimCluster
@@ -127,7 +127,8 @@ class ClosedLoopClient(Instrumented):
                     "repro_propose_decide_latency_ms"
                 ).observe(now - first)
             self._obs.emit(ClientReplyDecided(
-                client_id=self._params.client_id, seq=entry.seq
+                client_id=self._params.client_id, seq=entry.seq,
+                trace_id=f"c{self._params.client_id}-{entry.seq}",
             ))
 
     def _schedule_tick(self) -> None:
@@ -203,6 +204,11 @@ class ClosedLoopClient(Instrumented):
             self._first_sent[seq] = now
             batch.append(self._command(seq))
         self.proposals_sent += len(batch)
+        if self._obs.tracing and batch:
+            self._obs.emit(ClientProposalSent(
+                client_id=self._params.client_id,
+                first_seq=batch[0].seq, count=len(batch),
+            ))
         self._try_propose(target, batch)
 
     def _command(self, seq: int) -> Command:

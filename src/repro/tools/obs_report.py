@@ -1,14 +1,17 @@
-"""CLI: summarize an exported observability stream (``repro-obs``).
+"""CLI: summarize and reconstruct exported observability streams.
 
-Turns a JSON-lines export (see :class:`repro.obs.exporters.JsonLinesSink`)
-into the per-window throughput / down-time / IO summary the paper reports::
+``repro-obs`` has three subcommands over a JSON-lines export (see
+:class:`repro.obs.exporters.JsonLinesSink`)::
 
-    python -m repro.tools.obs_report run.jsonl --window-ms 5000
-    repro-obs run.jsonl --start-ms 2000 --end-ms 7000
+    repro-obs report run.jsonl --window-ms 5000     # paper-style summary
+    repro-obs timeline run.jsonl --width 72         # ASCII scenario Gantt
+    repro-obs spans run.jsonl --kind commit         # reconstructed spans
 
-The numbers match the harness's own trackers exactly: the report feeds the
-exported ``ClientReplyDecided`` timestamps through the same
-:class:`~repro.sim.metrics.DecidedTracker` the benchmarks use.
+The bare legacy form ``repro-obs run.jsonl`` still works and means
+``report``. The numbers match the harness's own trackers exactly: both
+the report and the timeline feed the exported ``ClientReplyDecided``
+timestamps through the same :class:`~repro.sim.metrics.DecidedTracker`
+the benchmarks use.
 """
 
 from __future__ import annotations
@@ -19,24 +22,68 @@ import sys
 from repro.errors import ConfigError
 from repro.obs.exporters import read_jsonl
 from repro.obs.report import summarize_run
+from repro.obs.spans import SPAN_KINDS, assemble_spans
+from repro.obs.timeline import render_spans, render_timeline
+
+COMMANDS = ("report", "timeline", "spans")
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        description="Summarize a JSON-lines observability export."
-    )
+def _add_window_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("path", help="path to the .jsonl export")
-    parser.add_argument("--window-ms", type=float, default=5000.0,
-                        help="window size for the decided series (paper: 5 s)")
     parser.add_argument("--start-ms", type=float, default=None,
                         help="observation start (default: first event)")
     parser.add_argument("--end-ms", type=float, default=None,
                         help="observation end (default: last event)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Summarize or reconstruct a JSON-lines observability "
+                    "export.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    report = sub.add_parser(
+        "report", help="per-window throughput / down-time / IO summary")
+    _add_window_args(report)
+    report.add_argument("--window-ms", type=float, default=5000.0,
+                        help="window size for the decided series (paper: 5 s)")
+
+    timeline = sub.add_parser(
+        "timeline", help="ASCII Gantt: leader tenure, QC flags, down-time")
+    _add_window_args(timeline)
+    timeline.add_argument("--width", type=int, default=60,
+                          help="timeline width in columns")
+    timeline.add_argument("--settle-ms", type=float, default=500.0,
+                          help="quiet gap that separates election episodes")
+
+    spans = sub.add_parser(
+        "spans", help="reconstructed spans as Gantt bars with percentiles")
+    spans.add_argument("path", help="path to the .jsonl export")
+    spans.add_argument("--width", type=int, default=60,
+                       help="bar width in columns")
+    spans.add_argument("--limit", type=int, default=30,
+                       help="max bars per span kind")
+    spans.add_argument("--kind", action="append", choices=SPAN_KINDS,
+                       help="only these span kinds (repeatable)")
+    spans.add_argument("--settle-ms", type=float, default=500.0,
+                       help="quiet gap that separates election episodes")
     return parser
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+def _load(path: str):
+    """``(events, metrics)`` or ``None`` after printing the error."""
+    try:
+        return read_jsonl(path)
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+    except ConfigError as exc:
+        print(f"{path}: {exc}", file=sys.stderr)
+    return None
+
+
+def _cmd_report(args) -> int:
     if args.window_ms <= 0:
         print("--window-ms must be positive", file=sys.stderr)
         return 2
@@ -44,14 +91,10 @@ def main(argv=None) -> int:
             and args.start_ms >= args.end_ms):
         print("--start-ms must be before --end-ms", file=sys.stderr)
         return 2
-    try:
-        events, metrics = read_jsonl(args.path)
-    except OSError as exc:
-        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+    loaded = _load(args.path)
+    if loaded is None:
         return 1
-    except ConfigError as exc:
-        print(f"{args.path}: {exc}", file=sys.stderr)
-        return 1
+    events, metrics = loaded
     if not events and not metrics:
         print(f"{args.path}: no events or metrics found")
         return 1
@@ -68,6 +111,66 @@ def main(argv=None) -> int:
         return 2
     print(report.render())
     return 0
+
+
+def _cmd_timeline(args) -> int:
+    if args.width < 10:
+        print("--width must be at least 10", file=sys.stderr)
+        return 2
+    loaded = _load(args.path)
+    if loaded is None:
+        return 1
+    events, _metrics = loaded
+    if not events:
+        print(f"{args.path}: no events found", file=sys.stderr)
+        return 1
+    spans = assemble_spans(events, settle_ms=args.settle_ms)
+    print(render_timeline(
+        events,
+        width=args.width,
+        start_ms=args.start_ms,
+        end_ms=args.end_ms,
+        spans=spans,
+    ))
+    return 0
+
+
+def _cmd_spans(args) -> int:
+    if args.width < 10:
+        print("--width must be at least 10", file=sys.stderr)
+        return 2
+    loaded = _load(args.path)
+    if loaded is None:
+        return 1
+    events, _metrics = loaded
+    spans = assemble_spans(events, settle_ms=args.settle_ms)
+    if not spans:
+        print(f"{args.path}: no spans could be reconstructed "
+              "(was tracing enabled?)", file=sys.stderr)
+        return 1
+    print(render_spans(spans, width=args.width, limit=args.limit,
+                       kinds=args.kind))
+    return 0
+
+
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # Legacy form: `repro-obs run.jsonl [...]` means `repro-obs report ...`.
+    if argv and argv[0] not in COMMANDS and not argv[0].startswith("-"):
+        argv.insert(0, "report")
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help(sys.stderr)
+        return 2
+    handler = {
+        "report": _cmd_report,
+        "timeline": _cmd_timeline,
+        "spans": _cmd_spans,
+    }[args.command]
+    return handler(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,79 @@
+"""CLI: run a short traced partition scenario and export it.
+
+The tracing smoke check — one command produces a JSON-lines export that
+``repro-obs timeline`` / ``repro-obs spans`` can reconstruct::
+
+    python -m repro.tools.trace_smoke smoke.jsonl
+    python -m repro.tools.obs_report timeline smoke.jsonl
+
+It runs :func:`~repro.sim.scenarios.run_partition_scenario` with causal
+tracing enabled and prints the harness's own measurements as ``key=value``
+lines, so CI (and the parity tests) can compare the timeline's
+reconstructed down-time window against the :class:`DecidedTracker` truth
+without re-running the scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.exporters import JsonLinesSink
+from repro.obs.registry import MetricsRegistry
+from repro.sim.scenarios import SCENARIOS, run_partition_scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Run a short traced partition scenario and export it "
+                    "as JSON-lines."
+    )
+    parser.add_argument("out", help="path of the .jsonl export to write")
+    parser.add_argument("--protocol", default="omni")
+    parser.add_argument("--scenario", choices=SCENARIOS,
+                        default="quorum_loss")
+    parser.add_argument("--election-timeout-ms", type=float, default=50.0)
+    parser.add_argument("--partition-ms", type=float, default=1_000.0,
+                        help="partition duration (short: this is a smoke run)")
+    parser.add_argument("--warmup-ms", type=float, default=500.0)
+    parser.add_argument("--cooldown-ms", type=float, default=500.0)
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    reg = MetricsRegistry()
+    reg.enable_tracing()
+    try:
+        sink = JsonLinesSink(args.out)
+    except OSError as exc:
+        print(f"cannot write {args.out}: {exc}", file=sys.stderr)
+        return 1
+    reg.add_sink(sink)
+    try:
+        result = run_partition_scenario(
+            args.protocol,
+            args.scenario,
+            election_timeout_ms=args.election_timeout_ms,
+            partition_duration_ms=args.partition_ms,
+            warmup_ms=args.warmup_ms,
+            cooldown_ms=args.cooldown_ms,
+            seed=args.seed,
+            obs=reg,
+        )
+    finally:
+        sink.close(reg)
+    print(f"export={args.out}")
+    print(f"protocol={result.protocol}")
+    print(f"scenario={result.scenario}")
+    print(f"partition_at_ms={result.partition_at_ms:.3f}")
+    print(f"partition_end_ms={result.partition_end_ms:.3f}")
+    print(f"downtime_ms={result.downtime_ms:.3f}")
+    print(f"decided_before_partition={result.decided_before_partition}")
+    print(f"decided_after_heal={result.decided_after_heal}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

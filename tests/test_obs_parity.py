@@ -11,6 +11,7 @@ import asyncio
 
 from repro.obs.exporters import MemorySink
 from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SPAN_COMMIT, assemble_spans
 from repro.omni.entry import Command
 from repro.omni.server import ClusterConfig, OmniPaxosConfig, OmniPaxosServer
 from repro.runtime.node import RuntimeNode
@@ -23,6 +24,7 @@ CORE_KINDS = {"BallotElected", "RoleChanged"}
 
 def run_sim(proposals=5):
     reg = MetricsRegistry()
+    reg.enable_tracing()
     sink = MemorySink()
     reg.add_sink(sink)
     exp = build_experiment(
@@ -41,6 +43,7 @@ def run_sim(proposals=5):
 
 def run_runtime(proposals=5):
     reg = MetricsRegistry()
+    reg.enable_tracing()
     sink = MemorySink()
     reg.add_sink(sink)
 
@@ -120,6 +123,26 @@ class TestSimRuntimeParity:
         for reg in (sim_reg, rt_reg):
             assert reg.sum_counter("repro_messages_sent_total") > 0
             assert reg.sum_counter("repro_bytes_sent_total") > 0
+
+        # With tracing on, the same run reconstructs the same span kinds
+        # in both worlds (the ISSUE's sim/runtime tracing-parity check).
+        sim_spans = assemble_spans(sim_sink.records)
+        rt_spans = assemble_spans(rt_sink.records)
+        sim_kinds = {s.kind for s in sim_spans}
+        rt_kinds = {s.kind for s in rt_spans}
+        assert SPAN_COMMIT in sim_kinds
+        assert sim_kinds == rt_kinds
+        # The commit spans cover the proposed commands on both sides, and
+        # inherit the canonical client trace ids from the entries.
+        for spans in (sim_spans, rt_spans):
+            commits = [s for s in spans if s.kind == SPAN_COMMIT]
+            assert sum(s.attr("entries") for s in commits) == 5
+            assert any(s.trace_id.startswith("c1-") for s in commits)
+
+        # Tracing also feeds the live replicate-phase histogram everywhere.
+        for reg in (sim_reg, rt_reg):
+            hist = reg.histogram("repro_commit_phase_ms", phase="replicate")
+            assert hist.count > 0
 
     def test_event_timestamps_follow_each_clock(self):
         _reg, sink, exp = run_sim()

@@ -1,0 +1,154 @@
+"""Conformance tests for the Prometheus text exposition output.
+
+A miniature parser checks :func:`render_prometheus` against the text
+format 0.0.4 rules a real scraper enforces: sample-line grammar, escaped
+label values, ``# TYPE`` before any sample of its family, and histogram
+invariants (cumulative monotone ``le`` buckets, exactly one ``+Inf``
+bucket equal to ``_count``, a ``_sum``/``_count`` pair).
+"""
+
+import math
+import re
+
+from repro.obs.exporters import render_prometheus
+from repro.obs.registry import MetricsRegistry
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>NaN|[+-]Inf|[-+]?[0-9.eE+-]+)$"
+)
+LABEL_PAIR = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def parse(text):
+    """``(types, samples)``: metric family types and parsed sample lines.
+
+    Asserts the grammar of every line along the way and that a family's
+    ``# TYPE`` precedes all of its samples.
+    """
+    types = {}
+    samples = []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert METRIC_NAME.match(name), f"bad family name: {name}"
+            assert kind in ("counter", "gauge", "histogram", "summary")
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unexpected comment: {line}"
+        m = SAMPLE.match(line)
+        assert m, f"sample line fails grammar: {line!r}"
+        name = m.group("name")
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert family in types or name in types, \
+            f"sample {name} before/without its # TYPE line"
+        labels = {}
+        raw = m.group("labels")
+        if raw:
+            consumed = LABEL_PAIR.sub("", raw).strip(",")
+            assert consumed == "", f"unparseable label text: {raw!r}"
+            for pair in LABEL_PAIR.finditer(raw):
+                assert LABEL_NAME.match(pair.group("name"))
+                labels[pair.group("name")] = pair.group("value")
+        value = m.group("value")
+        if value == "NaN":
+            parsed = math.nan
+        elif value == "+Inf":
+            parsed = math.inf
+        elif value == "-Inf":
+            parsed = -math.inf
+        else:
+            parsed = float(value)
+        samples.append((name, labels, parsed))
+    return types, samples
+
+
+def populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("repro_messages_sent_total", src=1, kind="Prepare").inc(3)
+    reg.gauge("repro_role", pid=2).set(1)
+    h = reg.histogram("repro_commit_phase_ms", phase="replicate")
+    for v in (0.3, 0.9, 2.5, 2.5, 40.0, 1e9):  # 1e9 lands in overflow
+        h.observe(v)
+    return reg
+
+
+class TestGrammar:
+    def test_every_line_parses(self):
+        types, samples = parse(render_prometheus(populated_registry()))
+        assert types["repro_messages_sent_total"] == "counter"
+        assert types["repro_role"] == "gauge"
+        assert types["repro_commit_phase_ms"] == "histogram"
+        assert samples
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_messages_dropped_total",
+                    reason='a"b\\c\nd').inc()
+        text = render_prometheus(reg)
+        assert 'reason="a\\"b\\\\c\\nd"' in text
+        types, samples = parse(text)
+        ((_, labels, value),) = samples
+        # The mini-parser round-trips the escaped form; unescaping it
+        # recovers the original value.
+        unescaped = (labels["reason"]
+                     .replace("\\n", "\n").replace('\\"', '"')
+                     .replace("\\\\", "\\"))
+        assert unescaped == 'a"b\\c\nd'
+        assert value == 1
+
+
+class TestHistogramInvariants:
+    def samples_for(self, reg, family):
+        _, samples = parse(render_prometheus(reg))
+        return [s for s in samples if s[0].startswith(family)]
+
+    def test_buckets_cumulative_and_inf_equals_count(self):
+        reg = populated_registry()
+        rows = self.samples_for(reg, "repro_commit_phase_ms")
+        buckets = [(labels["le"], value) for name, labels, value in rows
+                   if name.endswith("_bucket")]
+        count = [value for name, _, value in rows if name.endswith("_count")]
+        total = [value for name, _, value in rows if name.endswith("_sum")]
+        assert len(count) == 1 and len(total) == 1
+        # Exactly one +Inf bucket, last, equal to _count.
+        assert [le for le, _ in buckets].count("+Inf") == 1
+        assert buckets[-1][0] == "+Inf"
+        assert buckets[-1][1] == count[0] == 6
+        # Cumulative: non-decreasing counts and increasing bounds.
+        values = [v for _, v in buckets]
+        assert values == sorted(values)
+        finite = [float(le) for le, _ in buckets[:-1]]
+        assert finite == sorted(finite)
+        assert total[0] == sum((0.3, 0.9, 2.5, 2.5, 40.0, 1e9))
+
+    def test_empty_histogram_still_has_inf_bucket(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_span_duration_ms", kind="commit")
+        rows = self.samples_for(reg, "repro_span_duration_ms")
+        buckets = [(labels["le"], v) for name, labels, v in rows
+                   if name.endswith("_bucket")]
+        assert buckets == [("+Inf", 0)]
+        assert [v for name, _, v in rows if name.endswith("_count")] == [0]
+
+    def test_special_values_spelled_exactly(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_nan").set(math.nan)
+        reg.gauge("repro_inf", side="hi").set(math.inf)
+        reg.gauge("repro_inf", side="lo").set(-math.inf)
+        text = render_prometheus(reg)
+        assert "repro_nan NaN" in text
+        assert 'repro_inf{side="hi"} +Inf' in text
+        assert 'repro_inf{side="lo"} -Inf' in text
+        parse(text)  # and the grammar accepts them

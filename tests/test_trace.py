@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.obs.registry import MetricsRegistry
 from repro.omni.entry import Command
 from repro.sim.trace import MessageTrace
 
@@ -93,6 +94,92 @@ class TestRendering:
         sim.run_for(50)
         accepts = trace.events(types=("AcceptDecide",))
         assert "|entries|=1" in accepts[0].detail
+
+
+class TestDrops:
+    def test_link_down_drops_recorded_with_reason(self):
+        sim, _servers, trace, leader = traced_cluster()
+        victim = [p for p in (1, 2, 3) if p != leader][0]
+        sim.network.set_link(leader, victim, False)
+        sim.run_for(300)
+        drops = trace.events(types=("drop:link_down",))
+        assert drops
+        assert all(e.kind == "drop:link_down" for e in drops)
+        # The payload description survives into the drop event.
+        assert any("Heartbeat" in e.detail or "Accept" in e.detail
+                   for e in drops)
+
+    def test_drops_render_in_timeline(self):
+        sim, _servers, trace, leader = traced_cluster()
+        victim = [p for p in (1, 2, 3) if p != leader][0]
+        sim.network.set_link(leader, victim, False)
+        sim.run_for(300)
+        assert "drop:link_down" in trace.render(types=("drop:link_down",))
+
+    def test_detach_restores_drop_callback(self):
+        sim, _servers = build_omni_cluster(3)
+        assert sim.network.drop_callback is None
+        trace = MessageTrace.attach(sim.network)
+        assert sim.network.drop_callback is not None
+        trace.detach()
+        assert sim.network.drop_callback is None
+
+    def test_stacked_traces_both_see_drops(self):
+        sim, _servers = build_omni_cluster(3)
+        first = MessageTrace.attach(sim.network)
+        second = MessageTrace.attach(sim.network)
+        leader = run_until_leader(sim)
+        victim = [p for p in (1, 2, 3) if p != leader][0]
+        sim.network.set_link(leader, victim, False)
+        sim.run_for(300)
+        assert first.events(types=("drop:link_down",))
+        assert second.events(types=("drop:link_down",))
+
+    def test_paused_trace_skips_drops(self):
+        sim, _servers, trace, leader = traced_cluster()
+        trace.pause()
+        victim = [p for p in (1, 2, 3) if p != leader][0]
+        sim.network.set_link(leader, victim, False)
+        sim.run_for(300)
+        assert not trace.events(types=("drop:link_down",))
+
+
+class TestTraceIds:
+    def traced_tracing_cluster(self):
+        sim, servers = build_omni_cluster(3)
+        reg = MetricsRegistry()
+        reg.enable_tracing()
+        for server in servers.values():
+            server.set_observability(reg)
+        trace = MessageTrace.attach(sim.network, capacity=50_000)
+        leader = run_until_leader(sim)
+        return sim, trace, leader
+
+    def test_replication_messages_carry_trace_id(self):
+        sim, trace, leader = self.traced_tracing_cluster()
+        sim.run_for(100)
+        sim.propose(leader, Command(b"x", client_id=1, seq=0))
+        sim.run_for(50)
+        accepts = trace.events(types=("AcceptDecide",))
+        assert accepts
+        assert all(e.trace_id == "c1-0" for e in accepts)
+        # The causal chain continues into the Accepted replies.
+        replies = trace.events(types=("Accepted",))
+        assert any(e.trace_id == "c1-0" for e in replies)
+
+    def test_trace_id_shown_in_render(self):
+        sim, trace, leader = self.traced_tracing_cluster()
+        sim.run_for(100)
+        sim.propose(leader, Command(b"x", client_id=1, seq=0))
+        sim.run_for(50)
+        assert "~c1-0" in trace.render(types=("AcceptDecide",))
+
+    def test_no_trace_ids_when_tracing_disabled(self):
+        sim, _servers, trace, leader = traced_cluster()
+        sim.run_for(100)
+        sim.propose(leader, Command(b"x", client_id=1, seq=0))
+        sim.run_for(50)
+        assert all(e.trace_id == "" for e in trace.events())
 
 
 class TestAttachDetach:
