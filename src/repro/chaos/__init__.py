@@ -1,0 +1,27 @@
+"""Deterministic chaos engine (Jepsen-style nemesis on the simulator).
+
+``repro.chaos`` composes randomized-but-replayable fault schedules —
+crashes and restarts (storage intact or wiped), the paper's partial
+partitions, delay spikes, loss/duplication/reordering bursts, storage
+write faults, clock skew — and runs them against Omni-Paxos and every
+baseline while continuously checking safety invariants. On a violation it
+emits a minimal reproducer: a shrunk, replayable JSON schedule.
+
+Entry points: :func:`~repro.chaos.generator.generate_schedule`,
+:func:`~repro.chaos.engine.run_schedule`,
+:func:`~repro.chaos.shrink.shrink_schedule`, and the ``repro-chaos`` CLI.
+"""
+
+from repro.chaos.schedule import ChaosSchedule, FaultOp
+from repro.chaos.generator import generate_schedule
+from repro.chaos.engine import ChaosResult, run_schedule
+from repro.chaos.shrink import shrink_schedule
+
+__all__ = [
+    "ChaosSchedule",
+    "FaultOp",
+    "ChaosResult",
+    "generate_schedule",
+    "run_schedule",
+    "shrink_schedule",
+]

@@ -1,0 +1,117 @@
+"""Continuous invariant checking during a chaos run.
+
+Two layers, matching what can be observed at each level:
+
+- :class:`DecidedLogChecker` is protocol-agnostic. It watches the decided
+  stream of every server (via ``SimCluster.on_decided``) and maintains the
+  *canonical log*: the first-decided entry at each global index. It checks
+  SC1 (validity: every decided entry was actually proposed), SC2 (prefix
+  agreement: every server's decided sequence matches the canonical log),
+  and SC3-adjacent gap-freedom (a server never applies index ``i`` before
+  ``i-1``). Re-application from index 0 after a restart is legal — it must
+  simply match what was decided before.
+
+- The Omni-specific white-box checks (:func:`repro.omni.invariants
+  .check_all` plus the stateful
+  :class:`~repro.omni.invariants.MonotonicityTracker`) are run by the
+  engine between event slices; they read promises, accepted rounds, and
+  leader flags that only Sequence Paxos exposes.
+
+Violations are *recorded*, not raised: a raise inside an event-queue
+callback would unwind the simulation mid-step, so the engine polls
+:attr:`DecidedLogChecker.violation` instead and stops cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.omni.entry import Command
+
+
+class DecidedLogChecker:
+    """Black-box SC1/SC2 safety checker over per-server decided streams."""
+
+    def __init__(
+        self,
+        was_proposed: Optional[Callable[[Any], bool]] = None,
+    ):
+        #: canonical[i] = the first entry any server decided at index i.
+        self.canonical: List[Any] = []
+        #: First decider per index (for violation messages).
+        self._first_decider: Dict[int, int] = {}
+        #: Next expected decided index per server.
+        self.next_idx: Dict[int, int] = {}
+        #: First violation (message, time) or None.
+        self.violation: Optional[str] = None
+        self.violation_at_ms: Optional[float] = None
+        self._was_proposed = was_proposed
+        self.observations = 0
+
+    def _record(self, message: str, now: float) -> None:
+        if self.violation is None:
+            self.violation = message
+            self.violation_at_ms = now
+
+    def forget(self, pid: int) -> None:
+        """Reset a server's position after a *wiped* restart: it legally
+        re-applies from scratch (the canonical log still constrains it)."""
+        self.next_idx.pop(pid, None)
+
+    def observe(self, pid: int, idx: int, entry: Any, now: float) -> None:
+        """Feed one ``(pid, idx, entry)`` decided notification."""
+        self.observations += 1
+        if self.violation is not None:
+            return
+        if self._was_proposed is not None and not self._was_proposed(entry):
+            self._record(
+                f"SC1 violated: server {pid} decided unproposed entry "
+                f"{entry!r} at index {idx}", now,
+            )
+            return
+        nxt = self.next_idx.get(pid, 0)
+        if idx > nxt:
+            self._record(
+                f"decided-index gap at server {pid}: applied index {idx} "
+                f"before {nxt}", now,
+            )
+            return
+        if idx < len(self.canonical):
+            # Someone already decided this index: logs must agree (SC2).
+            # This also covers legal re-application after a restart.
+            if entry != self.canonical[idx]:
+                self._record(
+                    f"SC2 violated at index {idx}: server {pid} decided "
+                    f"{entry!r} but server {self._first_decider[idx]} "
+                    f"decided {self.canonical[idx]!r}", now,
+                )
+                return
+        else:
+            # idx == nxt == len(canonical): first decision of this index.
+            self.canonical.append(entry)
+            self._first_decider[idx] = pid
+        if idx == nxt:
+            self.next_idx[pid] = idx + 1
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def decided_counts(self) -> Dict[int, int]:
+        """Entries each server has applied (contiguously from 0)."""
+        return dict(self.next_idx)
+
+
+def command_validator(max_seq_fn: Callable[[], int],
+                      client_id: int = 1) -> Callable[[Any], bool]:
+    """SC1 predicate for the closed-loop workload: a decided command is
+    valid iff it carries the client's id and a sequence number the client
+    has actually handed out (``max_seq_fn`` reads the client's watermark).
+    Non-command entries (stop-signs) pass."""
+
+    def was_proposed(entry: Any) -> bool:
+        if not isinstance(entry, Command):
+            return True
+        return entry.client_id == client_id and 0 <= entry.seq < max_seq_fn()
+
+    return was_proposed

@@ -1,0 +1,172 @@
+"""Seed-driven schedule generation.
+
+All randomness comes from ``spawn_rng(seed, "chaos")`` — the same stream
+derivation the harness uses — so a seed fully determines the schedule, and
+the schedule (not the generator) is what gets replayed and shrunk.
+
+Storage wipes deliberately break the fail-recovery model the safety proof
+assumes (a wiped acceptor forgets its promise and can vote twice), so they
+are opt-in (``allow_wipe``) and drawn with low probability: useful for
+demonstrating *why* the model matters, excluded from the CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.chaos.schedule import ChaosSchedule, FaultOp
+from repro.errors import ConfigError
+from repro.sim.harness import PROTOCOLS
+from repro.util.rng import spawn_rng
+
+#: Relative draw weights per fault kind (storage_fault is omni-only and
+#: appended there; wipe is a low-probability variant of crash).
+_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("partition", 3.0),
+    ("crash", 2.0),
+    ("delay_spike", 2.0),
+    ("loss_burst", 1.0),
+    ("dup_burst", 1.0),
+    ("reorder_burst", 1.0),
+    ("clock_skew", 1.0),
+)
+
+
+def _weighted_choice(rng, weights: Sequence[Tuple[str, float]]) -> str:
+    total = sum(w for _, w in weights)
+    pick = rng.random() * total
+    for kind, w in weights:
+        pick -= w
+        if pick <= 0:
+            return kind
+    return weights[-1][0]
+
+
+def _all_pairs(pids: Sequence[int]) -> List[Tuple[int, int]]:
+    return list(itertools.combinations(sorted(pids), 2))
+
+
+def _partition_links(rng, pids: Sequence[int]) -> Tuple[str, List[List[int]]]:
+    """Pick a connectivity pattern and expand it to the exact links to cut."""
+    pattern = rng.choice(["quorum_loss", "constrained", "chained", "random"])
+    pairs = _all_pairs(pids)
+    if pattern == "quorum_loss":
+        pivot = rng.choice(list(pids))
+        cut = [[a, b] for a, b in pairs if pivot not in (a, b)]
+    elif pattern == "constrained":
+        pivot, isolated = rng.sample(list(pids), 2)
+        cut = [
+            [a, b] for a, b in pairs
+            if isolated in (a, b) or pivot not in (a, b)
+        ]
+    elif pattern == "chained":
+        order = list(pids)
+        rng.shuffle(order)
+        allowed = {frozenset(p) for p in zip(order, order[1:])}
+        cut = [[a, b] for a, b in pairs if frozenset((a, b)) not in allowed]
+    else:
+        cut = [[a, b] for a, b in pairs if rng.random() < 0.4]
+    return pattern, cut
+
+
+def generate_schedule(
+    seed: int,
+    protocol: str = "omni",
+    num_servers: int = 3,
+    duration_ms: float = 20_000.0,
+    num_ops: int = 10,
+    election_timeout_ms: float = 100.0,
+    allow_wipe: bool = False,
+    allow_storage_faults: Optional[bool] = None,
+) -> ChaosSchedule:
+    """Generate a deterministic fault schedule for ``seed``.
+
+    Ops land in the first ~3/4 of the run so every schedule ends with a
+    fault-free tail; the engine adds a healed cooldown on top before the
+    final invariant sweep.
+    """
+    if protocol not in PROTOCOLS:
+        raise ConfigError(
+            f"unknown protocol {protocol!r}; pick one of {PROTOCOLS}"
+        )
+    if num_ops < 0:
+        raise ConfigError("num_ops must be non-negative")
+    rng = spawn_rng(seed, "chaos")
+    pids = tuple(range(1, num_servers + 1))
+    et = election_timeout_ms
+    weights = list(_WEIGHTS)
+    if allow_storage_faults is None:
+        allow_storage_faults = protocol == "omni"
+    if allow_storage_faults and protocol == "omni":
+        weights.append(("storage_fault", 1.0))
+
+    times = sorted(
+        round(rng.uniform(0.05, 0.75) * duration_ms, 3)
+        for _ in range(num_ops)
+    )
+    ops: List[FaultOp] = []
+    for at_ms in times:
+        kind = _weighted_choice(rng, weights)
+        if kind == "crash":
+            wipe = allow_wipe and rng.random() < 0.15
+            params = {
+                "pid": rng.choice(list(pids)),
+                "down_ms": round(rng.uniform(2.0, 10.0) * et, 3),
+                "wipe": wipe,
+            }
+        elif kind == "partition":
+            pattern, links = _partition_links(rng, pids)
+            params = {
+                "pattern": pattern,
+                "links": links,
+                "heal_ms": round(rng.uniform(3.0, 12.0) * et, 3),
+            }
+        elif kind == "delay_spike":
+            pairs = _all_pairs(pids)
+            count = rng.randint(1, max(1, len(pairs) // 2))
+            links = [list(p) for p in rng.sample(pairs, count)]
+            params = {
+                "links": links,
+                "extra_ms": round(rng.uniform(0.5, 3.0) * et, 3),
+                "duration_ms": round(rng.uniform(2.0, 8.0) * et, 3),
+            }
+        elif kind == "loss_burst":
+            params = {
+                "rate": round(rng.uniform(0.05, 0.4), 3),
+                "duration_ms": round(rng.uniform(2.0, 8.0) * et, 3),
+            }
+        elif kind == "dup_burst":
+            params = {
+                "rate": round(rng.uniform(0.05, 0.4), 3),
+                "duration_ms": round(rng.uniform(2.0, 8.0) * et, 3),
+            }
+        elif kind == "reorder_burst":
+            params = {
+                "rate": round(rng.uniform(0.05, 0.4), 3),
+                "window_ms": round(rng.uniform(0.5, 2.0) * et, 3),
+                "duration_ms": round(rng.uniform(2.0, 8.0) * et, 3),
+            }
+        elif kind == "storage_fault":
+            params = {
+                "pid": rng.choice(list(pids)),
+                "after_writes": rng.randint(0, 20),
+                "mode": "torn" if rng.random() < 0.3 else "fail",
+                "heal_ms": round(rng.uniform(3.0, 10.0) * et, 3),
+            }
+        else:  # clock_skew
+            params = {
+                "pid": rng.choice(list(pids)),
+                "factor": round(rng.choice([0.5, 1.5, 2.0, 3.0]), 3),
+                "duration_ms": round(rng.uniform(4.0, 12.0) * et, 3),
+            }
+        ops.append(FaultOp(at_ms=at_ms, kind=kind, params=params))
+
+    return ChaosSchedule(
+        seed=seed,
+        protocol=protocol,
+        num_servers=num_servers,
+        duration_ms=duration_ms,
+        ops=tuple(ops),
+        election_timeout_ms=election_timeout_ms,
+    )

@@ -1,0 +1,176 @@
+"""The fault-op vocabulary and replayable chaos schedules.
+
+A :class:`ChaosSchedule` is pure data: which protocol and cluster size to
+run, for how long, and a time-ordered list of :class:`FaultOp`. Every op is
+*self-reverting* — it carries its own duration, and the engine schedules
+the revert when it applies the op. That property is what makes the
+shrinker sound: removing an op removes both its onset and its end, so a
+shrunk schedule can never leave a server permanently crashed or a link
+permanently cut.
+
+Schedules round-trip losslessly through JSON (sorted keys, stable float
+formatting), so ``digest()`` is a bit-stable fingerprint: the same seed
+always generates the same digest, and ``replay`` of an emitted file runs
+the byte-identical schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ConfigError
+
+#: Fault-op kinds and their required parameters.
+OP_PARAMS: Dict[str, Tuple[str, ...]] = {
+    # Crash pid for down_ms; restart with storage intact, or wiped (a new
+    # disk: deliberately violates the fail-recovery model when wipe=True).
+    "crash": ("pid", "down_ms", "wipe"),
+    # Cut exactly these links, restore exactly them after heal_ms.
+    # ``pattern`` records the connectivity shape for humans ("quorum_loss",
+    # "constrained", "chained", "random"); the engine only reads ``links``.
+    "partition": ("pattern", "links", "heal_ms"),
+    # Add extra_ms one-way latency on these links for duration_ms.
+    "delay_spike": ("links", "extra_ms", "duration_ms"),
+    # Random message loss / duplication / bounded reordering bursts.
+    "loss_burst": ("rate", "duration_ms"),
+    "dup_burst": ("rate", "duration_ms"),
+    "reorder_burst": ("rate", "window_ms", "duration_ms"),
+    # Arm pid's FaultyStorage: after_writes more writes succeed, then writes
+    # fail ("fail") or tear ("torn") until healed after heal_ms. Omni only.
+    "storage_fault": ("pid", "after_writes", "mode", "heal_ms"),
+    # Stretch pid's timer-check interval by factor for duration_ms.
+    "clock_skew": ("pid", "factor", "duration_ms"),
+}
+
+KINDS: Tuple[str, ...] = tuple(OP_PARAMS)
+
+
+@dataclass(frozen=True)
+class FaultOp:
+    """One fault injection at ``at_ms`` (params per :data:`OP_PARAMS`)."""
+
+    at_ms: float
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_PARAMS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}")
+        if self.at_ms < 0:
+            raise ConfigError("fault time must be non-negative")
+        missing = [k for k in OP_PARAMS[self.kind] if k not in self.params]
+        if missing:
+            raise ConfigError(
+                f"fault op {self.kind!r} missing params {missing}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"at_ms": self.at_ms, "kind": self.kind,
+                "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultOp":
+        return cls(at_ms=float(data["at_ms"]), kind=data["kind"],
+                   params=dict(data["params"]))
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A full replayable chaos run: cluster shape + workload + fault ops."""
+
+    seed: int
+    protocol: str
+    num_servers: int
+    duration_ms: float
+    ops: Tuple[FaultOp, ...] = ()
+    election_timeout_ms: float = 100.0
+    one_way_ms: float = 0.1
+    concurrent_proposals: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_servers < 1:
+            raise ConfigError("num_servers must be >= 1")
+        if self.duration_ms <= 0:
+            raise ConfigError("duration_ms must be positive")
+        times = [op.at_ms for op in self.ops]
+        if times != sorted(times):
+            raise ConfigError("fault ops must be time-ordered")
+
+    def without_ops(self, indices) -> "ChaosSchedule":
+        """A copy with the ops at ``indices`` removed (shrinker step)."""
+        drop = set(indices)
+        kept = tuple(op for i, op in enumerate(self.ops) if i not in drop)
+        return ChaosSchedule(
+            seed=self.seed, protocol=self.protocol,
+            num_servers=self.num_servers, duration_ms=self.duration_ms,
+            ops=kept, election_timeout_ms=self.election_timeout_ms,
+            one_way_ms=self.one_way_ms,
+            concurrent_proposals=self.concurrent_proposals,
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "protocol": self.protocol,
+            "num_servers": self.num_servers,
+            "duration_ms": self.duration_ms,
+            "election_timeout_ms": self.election_timeout_ms,
+            "one_way_ms": self.one_way_ms,
+            "concurrent_proposals": self.concurrent_proposals,
+            "ops": [op.to_dict() for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosSchedule":
+        return cls(
+            seed=int(data["seed"]),
+            protocol=data["protocol"],
+            num_servers=int(data["num_servers"]),
+            duration_ms=float(data["duration_ms"]),
+            election_timeout_ms=float(data.get("election_timeout_ms", 100.0)),
+            one_way_ms=float(data.get("one_way_ms", 0.1)),
+            concurrent_proposals=int(data.get("concurrent_proposals", 4)),
+            ops=tuple(FaultOp.from_dict(op) for op in data.get("ops", ())),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosSchedule":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """A bit-stable fingerprint of the schedule (sha256 hex prefix)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def describe_op(op: FaultOp) -> str:
+    """One human line per op (CLI listings and nemesis events)."""
+    p = op.params
+    if op.kind == "crash":
+        how = "wiped" if p.get("wipe") else "intact"
+        return (f"t={op.at_ms:.0f} crash pid={p['pid']} "
+                f"down={p['down_ms']:.0f}ms storage={how}")
+    if op.kind == "partition":
+        return (f"t={op.at_ms:.0f} partition {p['pattern']} "
+                f"links={len(p['links'])} heal={p['heal_ms']:.0f}ms")
+    if op.kind == "delay_spike":
+        return (f"t={op.at_ms:.0f} delay +{p['extra_ms']:.0f}ms on "
+                f"{len(p['links'])} links for {p['duration_ms']:.0f}ms")
+    if op.kind == "storage_fault":
+        return (f"t={op.at_ms:.0f} storage_fault pid={p['pid']} "
+                f"mode={p['mode']} after={p['after_writes']} writes")
+    if op.kind == "clock_skew":
+        return (f"t={op.at_ms:.0f} clock_skew pid={p['pid']} "
+                f"x{p['factor']:.2f} for {p['duration_ms']:.0f}ms")
+    rate = p.get("rate")
+    return (f"t={op.at_ms:.0f} {op.kind} rate={rate} "
+            f"for {p['duration_ms']:.0f}ms")

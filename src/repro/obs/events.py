@@ -225,6 +225,20 @@ class ClientProposalSent(ProtocolEvent):
 
 
 @dataclass(frozen=True)
+class NemesisInjected(ProtocolEvent):
+    """The chaos engine applied (``phase="apply"``) or reverted
+    (``phase="revert"``) a fault op of kind ``op`` — crash, partition,
+    delay_spike, ... — so timelines can show *when* the nemesis acted.
+    ``target`` names the victim (a pid, a link list, or ``"net"``)."""
+
+    kind: ClassVar[str] = "NemesisInjected"
+    op: str = ""
+    phase: str = "apply"
+    target: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True)
 class EventRecord:
     """One emitted event plus its registry-stamped emission time."""
 
@@ -251,6 +265,7 @@ EVENT_TYPES: Dict[str, Type[ProtocolEvent]] = {
         RecoveryStarted,
         RecoveryCompleted,
         ClientProposalSent,
+        NemesisInjected,
     )
 }
 

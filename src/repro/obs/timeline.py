@@ -31,6 +31,7 @@ from repro.obs.events import (
     BallotElected,
     ClientReplyDecided,
     EventRecord,
+    NemesisInjected,
     QCFlagChanged,
 )
 from repro.obs.report import decided_tracker_from_events
@@ -143,6 +144,17 @@ def render_timeline(
     for pid in sorted(qc_changes):
         lines.append(_lane(f"qc s{pid}",
                            _step_lane(scale, qc_changes[pid], initial="#")))
+
+    # Nemesis lane (chaos runs): '!' where a fault op was applied, '^'
+    # where one was reverted — the cause markers the other lanes react to.
+    nemesis = [r for r in events if isinstance(r.event, NemesisInjected)]
+    if nemesis:
+        cells = [" "] * scale.width
+        for r in nemesis:
+            cells[scale.col(r.at_ms)] = (
+                "!" if r.event.phase == "apply" else "^"
+            )
+        lines.append(_lane("nemesis", "".join(cells)))
 
     # Decided-reply density and the harness-identical down-time window.
     decided = [r.at_ms for r in events

@@ -7,6 +7,11 @@ than acknowledge unpersisted state, which is what the fail-recovery model
 (paper section 3) assumes. The failure-injection tests assert exactly that:
 errors propagate, and after the fault clears the replica recovers through
 the normal fail-recovery path with no safety loss.
+
+The ``torn`` mode additionally persists a prefix of a batched append before
+failing — the on-disk state a power cut leaves mid-batch — to assert that
+recovery treats the torn suffix as never written (un-acked entries may be
+lost; acked ones may not).
 """
 
 from __future__ import annotations
@@ -26,37 +31,69 @@ class FaultyStorage(Storage):
     Reads always succeed (the medium is readable; appends are not).
     """
 
+    #: Supported failure modes: ``"fail"`` rejects the whole write;
+    #: ``"torn"`` additionally persists a *prefix* of the batch on the
+    #: triggering ``append_entries`` (a power cut mid-batch).
+    MODES = ("fail", "torn")
+
     def __init__(self, inner: Storage):
         self._inner = inner
         self._writes_until_failure: Optional[int] = None
         self._failing = False
+        self._mode = "fail"
+        self._just_tripped = False
         self.writes_attempted = 0
         self.writes_failed = 0
+        self.entries_torn = 0
 
     # -- fault control ------------------------------------------------------
 
-    def fail_after(self, writes: int) -> None:
-        """Let ``writes`` more writes succeed, then fail all writes."""
+    def fail_after(self, writes: int, mode: str = "fail") -> None:
+        """Let ``writes`` more writes succeed, then fail all writes.
+
+        With ``mode="torn"`` the write that trips the countdown persists a
+        prefix of its batch (if it is a multi-entry ``append_entries``)
+        before raising — the classic torn write a crashed disk leaves
+        behind. Every later write fails cleanly until :meth:`heal`.
+        """
+        if mode not in self.MODES:
+            raise ValueError(f"unknown fault mode {mode!r}; pick {self.MODES}")
+        self._mode = mode
         self._writes_until_failure = writes
-        self._failing = writes <= 0
+        # The trip happens inside the (writes+1)-th write attempt, so the
+        # ``failing`` flag flips there — that write is the one that tears.
+        self._failing = False
 
     def heal(self) -> None:
         """Stop failing writes."""
         self._writes_until_failure = None
         self._failing = False
+        self._mode = "fail"
 
     @property
     def failing(self) -> bool:
         return self._failing
 
-    def _write_gate(self) -> None:
+    def _advance_gate(self) -> bool:
+        """Advance the countdown; True when this write must fail.
+
+        Flags ``_just_tripped`` on the write that trips the countdown —
+        that is the (only) write the torn mode tears.
+        """
         self.writes_attempted += 1
+        self._just_tripped = False
         if self._writes_until_failure is not None and not self._failing:
             self._writes_until_failure -= 1
             if self._writes_until_failure < 0:
                 self._failing = True
+                self._just_tripped = True
         if self._failing:
             self.writes_failed += 1
+            return True
+        return False
+
+    def _write_gate(self) -> None:
+        if self._advance_gate():
             raise StorageError("injected storage fault (disk full)")
 
     # -- Storage API (writes gated, reads passed through) --------------------
@@ -66,7 +103,16 @@ class FaultyStorage(Storage):
         return self._inner.append_entry(entry)
 
     def append_entries(self, entries: Sequence[Any]) -> int:
-        self._write_gate()
+        if self._advance_gate():
+            if self._mode == "torn" and self._just_tripped and len(entries) > 1:
+                torn = len(entries) // 2
+                self.entries_torn += torn
+                self._inner.append_entries(entries[:torn])
+                raise StorageError(
+                    f"injected torn write ({torn}/{len(entries)} entries "
+                    f"persisted)"
+                )
+            raise StorageError("injected storage fault (disk full)")
         return self._inner.append_entries(entries)
 
     def truncate_suffix(self, from_idx: int) -> None:

@@ -133,3 +133,57 @@ def check_all(replicas: Iterable) -> None:
     replicas = list(replicas)
     for check in ALL_CHECKS:
         check(replicas)
+
+
+class MonotonicityTracker:
+    """Stateful invariants a single snapshot cannot see.
+
+    :func:`check_all` inspects one instant; it cannot tell that a server's
+    promise went *backwards* between two checks (LE3 ballot monotonicity),
+    that a decided index regressed (fail-recovery: decided state is
+    persistent), or that a round was led by two different servers at
+    *different* times. Feed every snapshot of a run through
+    :meth:`observe`; it raises :class:`InvariantViolation` on regression.
+
+    A deliberately *wiped* restart (disk replaced) is allowed to regress —
+    call :meth:`forget` for that server; the cross-time round-to-leader
+    history is kept, since LE3 must hold across incarnations.
+    """
+
+    def __init__(self) -> None:
+        self._promise: Dict[int, object] = {}
+        self._decided: Dict[int, int] = {}
+        self._round_leader: Dict[object, int] = {}
+
+    def forget(self, pid: int) -> None:
+        """Drop per-server monotonicity state after a wiped restart."""
+        self._promise.pop(pid, None)
+        self._decided.pop(pid, None)
+
+    def observe(self, replicas: Iterable) -> None:
+        """Check one snapshot against everything seen before it."""
+        for node in _as_sequence_paxos(replicas):
+            promised = node.storage.get_promise()
+            prev = self._promise.get(node.pid)
+            if prev is not None and promised < prev:
+                raise InvariantViolation(
+                    f"server {node.pid}: promise regressed from {prev} "
+                    f"to {promised}"
+                )
+            self._promise[node.pid] = promised
+            decided = node.decided_idx
+            if decided < self._decided.get(node.pid, 0):
+                raise InvariantViolation(
+                    f"server {node.pid}: decided index regressed from "
+                    f"{self._decided[node.pid]} to {decided}"
+                )
+            self._decided[node.pid] = decided
+            if node.is_leader:
+                round_n = node.current_round
+                owner = self._round_leader.get(round_n)
+                if owner is not None and owner != node.pid:
+                    raise InvariantViolation(
+                        f"round {round_n} led by {owner} earlier and "
+                        f"{node.pid} now"
+                    )
+                self._round_leader[round_n] = node.pid

@@ -117,6 +117,11 @@ class AcceptSync:
     afterwards its log is guaranteed to be a prefix of the leader's log.
     When the follower needs entries the leader has compacted,
     ``snapshot = (state, covers_idx)`` stands in for the prefix.
+
+    ``session`` numbers the sync sessions a leader opens with this follower
+    within its tenure (1, 2, ...). Every AcceptDecide carries the session it
+    belongs to, so a reordered straggler from before a re-sync can never be
+    mistaken for a fresh message of the current session.
     """
 
     n: Ballot
@@ -124,9 +129,10 @@ class AcceptSync:
     sync_idx: int
     decided_idx: int
     snapshot: Optional[Tuple[Any, int]] = None
+    session: int = 1
 
     def wire_size(self) -> int:
-        return (_HEADER + _BALLOT + 16 + entries_wire_size(self.suffix)
+        return (_HEADER + _BALLOT + 20 + entries_wire_size(self.suffix)
                 + _snapshot_wire_size(self.snapshot))
 
 
@@ -135,19 +141,23 @@ class AcceptDecide:
     """Leader -> follower: replicate ``entries`` (FIFO pipelined) and
     piggyback the leader's current decided index.
 
-    ``seq`` is a per-follower session counter (restarting at 1 after each
-    AcceptSync): a follower that observes a gap knows a message was lost on
-    a non-TCP transport and requests a resynchronization instead of
-    appending out of order.
+    ``(session, seq)`` is the message's position in the replication stream:
+    ``session`` names the AcceptSync session it belongs to and ``seq`` counts
+    the messages of that session (restarting at 1 after each AcceptSync). A
+    follower that observes a seq gap — or a session ahead of the sync it last
+    applied — knows a message was lost on a non-TCP transport and requests a
+    resynchronization; a message from an *older* session is a reordered or
+    duplicated straggler and is dropped instead of appended out of place.
     """
 
     n: Ballot
     entries: Tuple[Any, ...]
     decided_idx: int
     seq: int = 0
+    session: int = 1
 
     def wire_size(self) -> int:
-        return _HEADER + _BALLOT + 12 + entries_wire_size(self.entries)
+        return _HEADER + _BALLOT + 16 + entries_wire_size(self.entries)
 
 
 @dataclass(frozen=True)

@@ -153,10 +153,15 @@ class SequencePaxos(Instrumented):
         #: Last known decided index per follower (for trim validation).
         self._lds: Dict[int, int] = {}
         self._synced_peers: set = set()
-        #: Per-follower AcceptDecide session counters (loss detection).
+        #: Per-follower AcceptDecide counters within a sync session.
         self._accept_seq: Dict[int, int] = {}
+        #: Per-follower sync-session numbers: bumped on every AcceptSync so
+        #: a reordered AcceptDecide from an older session is recognizable.
+        self._accept_session: Dict[int, int] = {}
         #: Expected next AcceptDecide seq as a follower.
         self._expected_seq = 0
+        #: Session of the last AcceptSync applied as a follower.
+        self._expected_session = 0
         self._resync_requested = False
         self._next_retry_at: Optional[float] = None
         self._max_prom_acc_rnd: Ballot = BOTTOM
@@ -516,6 +521,7 @@ class SequencePaxos(Instrumented):
         self._lds = {}
         self._synced_peers = set()
         self._accept_seq = {}
+        self._accept_session = {}
         self._trace_fanout = []  # stale fan-out times from an older tenure
         for peer in self._config.peers:
             self._send_prepare(peer)
@@ -628,13 +634,16 @@ class SequencePaxos(Instrumented):
             sync_idx = self._storage.compacted_idx()
         self.stats.accept_syncs_sent += 1
         self._synced_peers.add(pid)
-        self._accept_seq[pid] = 0  # AcceptSync restarts the session counter
+        self._accept_seq[pid] = 0  # AcceptSync restarts the seq counter...
+        session = self._accept_session.get(pid, 0) + 1
+        self._accept_session[pid] = session  # ...in a fresh, numbered session
         self._send(pid, AcceptSync(
             n=self._current_round,
             suffix=self._storage.get_suffix(sync_idx),
             sync_idx=sync_idx,
             decided_idx=self._storage.get_decided_idx(),
             snapshot=snapshot,
+            session=session,
         ))
 
     def _append_and_replicate(self, entries: Sequence[Any]) -> None:
@@ -662,6 +671,7 @@ class SequencePaxos(Instrumented):
                 entries=batch,
                 decided_idx=decided_idx,
                 seq=seq,
+                session=self._accept_session.get(pid, 1),
             ))
         self._maybe_decide(self._storage.log_len())
 
@@ -795,6 +805,9 @@ class SequencePaxos(Instrumented):
             return  # obsolete round; no NACK — silence avoids leader gossip
         if msg.n == self._storage.get_promise() and self.is_leader:
             return  # our own round echoed back; ignore
+        if msg.n > self._storage.get_promise():
+            # A new leader tenure numbers its sync sessions from 1 again.
+            self._expected_session = 0
         self._storage.set_promise(msg.n)
         self._set_role(Role.FOLLOWER)
         self._phase = Phase.PREPARE
@@ -833,14 +846,19 @@ class SequencePaxos(Instrumented):
             return
         if self._phase not in (Phase.PREPARE, Phase.ACCEPT):
             return
+        if msg.session <= self._expected_session:
+            # A duplicated (or reordered-behind) copy of a sync we already
+            # applied: re-applying would roll the log back to an old sync
+            # point and desynchronize the seq counters.
+            return
         # An Accept-phase follower can receive a *re*-sync when overlapping
         # Prepare/Promise exchanges raced (e.g. a session drop and a
-        # PrepareReq both triggered one). The leader restarted the
-        # AcceptDecide session counter when it sent this message, so it must
-        # be applied — dropping it would desynchronize the counters and make
-        # every later batch look like a duplicate. The sync point may lie
-        # below our decided prefix (the promise it answers was stale); the
-        # suffix covers that prefix with identical chosen entries, so clip.
+        # PrepareReq both triggered one). The leader opened a fresh numbered
+        # session when it sent this message, so it must be applied —
+        # dropping it would desynchronize the counters and make every later
+        # batch look stale. The sync point may lie below our decided prefix
+        # (the promise it answers was stale); the suffix covers that prefix
+        # with identical chosen entries, so clip.
         sync_idx = msg.sync_idx
         suffix = msg.suffix
         if msg.snapshot is not None:
@@ -856,6 +874,7 @@ class SequencePaxos(Instrumented):
         self._append(suffix)
         self._storage.set_accepted_round(msg.n)
         self._phase = Phase.ACCEPT
+        self._expected_session = msg.session
         self._expected_seq = 0
         self._resync_requested = False
         self._trace_recovery_end()
@@ -869,6 +888,14 @@ class SequencePaxos(Instrumented):
             return
         if self.is_leader:
             return
+        if msg.session != self._expected_session:
+            if msg.session > self._expected_session \
+                    and not self._resync_requested:
+                # The AcceptSync that opened this session never arrived:
+                # resynchronize (the leader answers with a fresh Prepare).
+                self._resync_requested = True
+                self._send(src, PrepareReq())
+            return  # an older session's straggler (reordered/duplicated)
         if msg.seq != self._expected_seq + 1:
             if msg.seq > self._expected_seq + 1 and not self._resync_requested:
                 # A preceding AcceptDecide was lost (non-FIFO transport):

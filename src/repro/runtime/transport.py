@@ -4,13 +4,16 @@ Each server listens on its own address and dials every peer. A single
 outbound connection per peer carries this server's messages (TCP gives the
 session-based FIFO perfect link the protocols assume, paper section 3);
 inbound connections are receive-only. Broken connections reconnect with
-backoff, and a re-established *outbound* session triggers the session-drop
+*decorrelated-jitter* backoff — pure exponential backoff would make every
+peer of a healed partition retry in lockstep, re-colliding on each wave —
+and a re-established *outbound* session triggers the session-drop
 callback so protocols can run their PrepareReq handling (section 4.1.3).
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
@@ -20,6 +23,18 @@ from repro.runtime.codec import FrameDecoder, encode_frame
 
 MessageHandler = Callable[[int, Any], None]
 SessionHandler = Callable[[int], None]
+
+
+def decorrelated_jitter(rng: random.Random, base_s: float, prev_s: float,
+                        cap_s: float) -> float:
+    """Next reconnect delay: ``min(cap, uniform(base, prev * 3))``.
+
+    The AWS "decorrelated jitter" scheme: each delay is drawn anew from a
+    range anchored at the base and stretched by the previous delay, so two
+    peers that lost their sessions at the same instant desynchronize after
+    one round instead of hammering the healed peer in lockstep forever.
+    """
+    return min(cap_s, rng.uniform(base_s, max(prev_s * 3.0, base_s)))
 
 
 @dataclass(frozen=True)
@@ -43,6 +58,7 @@ class TcpMesh(Instrumented):
         on_session_restored: Optional[SessionHandler] = None,
         reconnect_initial_ms: float = 50.0,
         reconnect_max_ms: float = 2_000.0,
+        rng: Optional[random.Random] = None,
     ):
         if listen.pid != pid:
             raise TransportError("listen address pid mismatch")
@@ -53,6 +69,10 @@ class TcpMesh(Instrumented):
         self._on_session_restored = on_session_restored
         self._reconnect_initial = reconnect_initial_ms / 1000.0
         self._reconnect_max = reconnect_max_ms / 1000.0
+        #: Jitter source (injectable for deterministic tests); seeded from
+        #: the pid by default so each server draws an independent stream.
+        self._rng = rng if rng is not None else random.Random(pid)
+        self.reconnect_attempts = 0
         self._writers: Dict[int, asyncio.StreamWriter] = {}
         self._dial_tasks: Dict[int, asyncio.Task] = {}
         self._server: Optional[asyncio.AbstractServer] = None
@@ -138,11 +158,18 @@ class TcpMesh(Instrumented):
         addr = self._peers[pid]
         delay = self._reconnect_initial
         while not self._closed:
+            self.reconnect_attempts += 1
+            if self._obs.enabled:
+                self._obs.counter("repro_reconnect_attempts_total",
+                                  src=self._pid, peer=pid).inc()
             try:
                 reader, writer = await asyncio.open_connection(addr.host, addr.port)
             except OSError:
                 await asyncio.sleep(delay)
-                delay = min(delay * 2, self._reconnect_max)
+                delay = decorrelated_jitter(
+                    self._rng, self._reconnect_initial, delay,
+                    self._reconnect_max,
+                )
                 continue
             delay = self._reconnect_initial
             self._writers[pid] = writer

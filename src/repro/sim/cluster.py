@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, StorageError
 from repro.replica import Replica
 from repro.sim.events import EventQueue
 from repro.sim.network import SimNetwork
@@ -38,6 +38,12 @@ class SimCluster:
         self._crashed: Set[int] = set()
         self._started = False
         self._decided_observers: List[DecidedObserver] = []
+        #: Per-server tick-interval multiplier (clock-skew injection): a
+        #: server with scale 2.0 checks its timers half as often, so its
+        #: election timeouts fire late relative to its peers.
+        self._tick_scale: Dict[int, float] = {}
+        #: Servers crashed by a failed storage write (fail-recovery model).
+        self.storage_crashes = 0
         network.on_deliver(self._deliver)
         network.on_session_restored(self._session_restored)
 
@@ -70,6 +76,22 @@ class SimCluster:
         if self._started:
             replica.start(self._queue.now)
             self._schedule_tick(pid)
+            self._flush(pid)
+
+    def replace_replica(self, pid: int, replica: Replica) -> None:
+        """Swap the object driven as ``pid`` for a fresh one.
+
+        This models a *wiped* restart (disk replaced, fail-recovery model
+        violated on purpose): the new replica starts from whatever state it
+        was constructed with. The running tick loop keeps driving ``pid``
+        because it looks the object up by pid on every tick.
+        """
+        if pid not in self._replicas:
+            raise ConfigError(f"unknown pid {pid}")
+        self._replicas[pid] = replica
+        self._crashed.discard(pid)
+        if self._started:
+            replica.start(self._queue.now)
             self._flush(pid)
 
     def is_crashed(self, pid: int) -> bool:
@@ -116,12 +138,20 @@ class SimCluster:
     def propose(self, pid: int, entry: Any) -> None:
         """Propose ``entry`` at server ``pid`` (raises if it cannot)."""
         replica = self._alive(pid)
-        replica.propose(entry, self._queue.now)
+        try:
+            replica.propose(entry, self._queue.now)
+        except StorageError:
+            self._handle_storage_failure(pid)
+            raise
         self._flush(pid)
 
     def propose_batch(self, pid: int, entries: List[Any]) -> None:
         replica = self._alive(pid)
-        replica.propose_batch(entries, self._queue.now)
+        try:
+            replica.propose_batch(entries, self._queue.now)
+        except StorageError:
+            self._handle_storage_failure(pid)
+            raise
         self._flush(pid)
 
     def reconfigure(self, pid: int, servers: Tuple[int, ...]) -> None:
@@ -138,6 +168,8 @@ class SimCluster:
             raise ConfigError(f"unknown pid {pid}")
         self._crashed.add(pid)
         self._replicas[pid].crash()
+        # A crashed process's queued-but-unsent messages die with it.
+        self._replicas[pid].take_outbox()
 
     def recover(self, pid: int) -> None:
         """Restart a crashed server from its persistent state."""
@@ -153,6 +185,23 @@ class SimCluster:
     def heal_all_links(self) -> None:
         self._network.heal_all()
 
+    def set_tick_scale(self, pid: int, factor: float) -> None:
+        """Stretch (factor > 1) or shrink (factor < 1) ``pid``'s tick interval.
+
+        Models clock skew at the timer-check granularity: a server with a
+        slow clock polls its election/heartbeat deadlines less often, so
+        they fire late relative to its peers. ``factor=1.0`` restores the
+        nominal rate; takes effect from the next scheduled tick.
+        """
+        if pid not in self._replicas:
+            raise ConfigError(f"unknown pid {pid}")
+        if factor <= 0:
+            raise ConfigError("tick scale factor must be positive")
+        if factor == 1.0:
+            self._tick_scale.pop(pid, None)
+        else:
+            self._tick_scale[pid] = factor
+
     # -- internals ---------------------------------------------------------------
 
     def _alive(self, pid: int) -> Replica:
@@ -162,30 +211,52 @@ class SimCluster:
             raise ConfigError(f"server {pid} is crashed")
         return self._replicas[pid]
 
+    def _handle_storage_failure(self, pid: int) -> None:
+        """Fail-recovery model: a server whose disk write failed crashes.
+
+        The exception surfaced mid-handler, so any messages it had queued
+        this turn reflect un-persisted state — they die with the process.
+        """
+        self.storage_crashes += 1
+        self._crashed.add(pid)
+        self._replicas[pid].crash()
+        self._replicas[pid].take_outbox()
+
     def _schedule_tick(self, pid: int) -> None:
         def tick() -> None:
             if pid in self._replicas:
                 if pid not in self._crashed:
-                    self._replicas[pid].tick(self._queue.now)
-                    self._flush(pid)
-                self._queue.schedule_in(self._tick_ms, tick)
+                    try:
+                        self._replicas[pid].tick(self._queue.now)
+                    except StorageError:
+                        self._handle_storage_failure(pid)
+                    else:
+                        self._flush(pid)
+                interval = self._tick_ms * self._tick_scale.get(pid, 1.0)
+                self._queue.schedule_in(interval, tick)
 
-        self._queue.schedule_in(self._tick_ms, tick)
+        self._queue.schedule_in(self._tick_ms * self._tick_scale.get(pid, 1.0), tick)
 
     def _deliver(self, src: int, dst: int, msg: Any) -> None:
         if dst not in self._replicas or dst in self._crashed:
             return
-        self._replicas[dst].on_message(src, msg, self._queue.now)
+        try:
+            self._replicas[dst].on_message(src, msg, self._queue.now)
+        except StorageError:
+            self._handle_storage_failure(dst)
+            return
         self._flush(dst)
 
     def _session_restored(self, a: int, b: int) -> None:
         now = self._queue.now
-        if a in self._replicas and a not in self._crashed:
-            self._replicas[a].on_session_drop(b, now)
-            self._flush(a)
-        if b in self._replicas and b not in self._crashed:
-            self._replicas[b].on_session_drop(a, now)
-            self._flush(b)
+        for pid, peer in ((a, b), (b, a)):
+            if pid in self._replicas and pid not in self._crashed:
+                try:
+                    self._replicas[pid].on_session_drop(peer, now)
+                except StorageError:
+                    self._handle_storage_failure(pid)
+                    continue
+                self._flush(pid)
 
     def _flush(self, pid: int) -> None:
         replica = self._replicas[pid]

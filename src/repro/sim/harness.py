@@ -16,12 +16,13 @@ The supported protocol names are the evaluation's five configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.omni.reconfig import PARALLEL
 from repro.omni.server import ClusterConfig, OmniPaxosConfig, OmniPaxosServer
+from repro.omni.storage import InMemoryStorage, Storage
 from repro.baselines.multipaxos import MultiPaxosConfig, MultiPaxosReplica
 from repro.baselines.raft import RaftConfig, RaftReplica
 from repro.baselines.vr import VRConfig, VRReplica
@@ -64,6 +65,10 @@ class ExperimentConfig:
     #: stays well under the election timeout when egress is finite, like
     #: real systems' max-message-size settings.
     max_batch_entries: Optional[int] = None
+    #: Omni-only hook: ``wrapper(pid, storage) -> storage`` applied to every
+    #: freshly created backing store, letting fault injectors (e.g. the chaos
+    #: engine's FaultyStorage) interpose on disk writes per server.
+    storage_wrapper: Optional[Callable[[int, Storage], Storage]] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -151,6 +156,12 @@ def make_replica(cfg: ExperimentConfig, pid: int,
     """
     members = servers if servers is not None else cfg.servers
     if cfg.protocol == "omni":
+        kwargs = {}
+        if cfg.storage_wrapper is not None:
+            wrapper = cfg.storage_wrapper
+            kwargs["storage_factory"] = (
+                lambda config_id, _pid=pid: wrapper(_pid, InMemoryStorage())
+            )
         return OmniPaxosServer(OmniPaxosConfig(
             pid=pid,
             cluster=ClusterConfig(config_id=0, servers=members),
@@ -160,6 +171,7 @@ def make_replica(cfg: ExperimentConfig, pid: int,
             migration_chunk_entries=cfg.migration_chunk_entries,
             migration_retry_ms=max(2 * cfg.election_timeout_ms, 100.0),
             announce_period_ms=max(cfg.election_timeout_ms, 50.0),
+            **kwargs,
         ))
     if cfg.protocol in ("raft", "raft_pvcq"):
         in_config = pid in members

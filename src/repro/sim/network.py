@@ -9,6 +9,14 @@ systematically, and when the link comes back up both endpoints observe a
 FIFO is preserved per ordered ``(src, dst)`` pair even with latency jitter
 by never scheduling a delivery earlier than the previously scheduled one —
 exactly how a TCP stream behaves under reordering at the packet level.
+
+For chaos testing the link model can additionally be degraded below the
+TCP assumptions: :meth:`SimNetwork.set_duplication` re-delivers a fraction
+of messages, and :meth:`SimNetwork.set_reordering` lets a fraction escape
+the FIFO clamp by up to a bounded extra delay. Both are accounted per
+reason (``repro_messages_duplicated_total`` /
+``repro_messages_reordered_total``), mirroring the drop-reason counters,
+so a chaos export explains every non-FIFO delivery.
 """
 
 from __future__ import annotations
@@ -38,6 +46,12 @@ class NetworkParams:
     one_way_ms: float = 0.1
     jitter_ms: float = 0.0
     loss_rate: float = 0.0
+    #: Probability of delivering a message twice (stray retransmission).
+    duplicate_rate: float = 0.0
+    #: Probability of a message escaping the per-pair FIFO clamp, delayed
+    #: by up to ``reorder_window_ms`` so later sends can overtake it.
+    reorder_rate: float = 0.0
+    reorder_window_ms: float = 0.0
     #: Per-server egress capacity in bytes per millisecond (None = infinite).
     #: Finite egress serializes large transfers at the sender NIC — this is
     #: what makes leader-only log migration a bottleneck (paper section 7.3).
@@ -48,6 +62,12 @@ class NetworkParams:
             raise ConfigError("latency must be non-negative")
         if not 0.0 <= self.loss_rate < 1.0:
             raise ConfigError("loss_rate must be in [0, 1)")
+        if not 0.0 <= self.duplicate_rate < 1.0:
+            raise ConfigError("duplicate_rate must be in [0, 1)")
+        if not 0.0 <= self.reorder_rate < 1.0:
+            raise ConfigError("reorder_rate must be in [0, 1)")
+        if self.reorder_window_ms < 0:
+            raise ConfigError("reorder_window_ms must be non-negative")
         if self.egress_bytes_per_ms is not None and self.egress_bytes_per_ms <= 0:
             raise ConfigError("egress_bytes_per_ms must be positive")
 
@@ -90,6 +110,14 @@ class SimNetwork(Instrumented):
         ] = None
         self.messages_sent = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_reordered = 0
+        #: Runtime-mutable copies of the loss/dup/reorder knobs so a chaos
+        #: schedule can switch bursts on and off mid-run.
+        self._loss_rate = params.loss_rate
+        self._duplicate_rate = params.duplicate_rate
+        self._reorder_rate = params.reorder_rate
+        self._reorder_window_ms = params.reorder_window_ms
 
     @property
     def now(self) -> float:
@@ -164,6 +192,50 @@ class SimNetwork(Instrumented):
     def latency(self, a: int, b: int) -> float:
         return self._latency.get(_link(a, b), self._params.one_way_ms)
 
+    def clear_latency(self, a: int, b: int) -> None:
+        """Drop a per-link latency override (back to the default)."""
+        self._latency.pop(_link(a, b), None)
+
+    # -- link degradation (chaos knobs) -------------------------------------
+
+    def set_loss(self, rate: float) -> None:
+        """Drop this fraction of messages at random (0 disables)."""
+        if not 0.0 <= rate < 1.0:
+            raise ConfigError("loss_rate must be in [0, 1)")
+        if rate > 0.0 and self._rng is None:
+            raise ConfigError("loss requires a seeded rng")
+        self._loss_rate = rate
+
+    def set_duplication(self, rate: float) -> None:
+        """Deliver this fraction of messages twice (0 disables).
+
+        The duplicate arrives after an extra random delay and does *not*
+        advance the FIFO clamp — it models a stray retransmission, which is
+        exactly what session-counter–based loss detection must tolerate.
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ConfigError("duplicate_rate must be in [0, 1)")
+        if rate > 0.0 and self._rng is None:
+            raise ConfigError("duplication requires a seeded rng")
+        self._duplicate_rate = rate
+
+    def set_reordering(self, rate: float, window_ms: float) -> None:
+        """Let this fraction of messages escape FIFO by up to ``window_ms``.
+
+        A reordered message is delayed without advancing the FIFO clamp, so
+        messages sent later can overtake it — bounded out-of-order delivery
+        (UDP-style), which the protocols' AcceptDecide/AppendEntries session
+        counters must detect and repair.
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ConfigError("reorder_rate must be in [0, 1)")
+        if window_ms < 0:
+            raise ConfigError("reorder_window_ms must be non-negative")
+        if rate > 0.0 and self._rng is None:
+            raise ConfigError("reordering requires a seeded rng")
+        self._reorder_rate = rate
+        self._reorder_window_ms = window_ms
+
     # -- sending ----------------------------------------------------------------
 
     def send(self, src: int, dst: int, msg: Any) -> None:
@@ -184,8 +256,8 @@ class SimNetwork(Instrumented):
         if not self.is_up(src, dst):
             self._drop(src, dst, msg, "link_down")
             return
-        if self._params.loss_rate > 0.0 and self._rng is not None \
-                and self._rng.random() < self._params.loss_rate:
+        if self._loss_rate > 0.0 and self._rng is not None \
+                and self._rng.random() < self._loss_rate:
             self._drop(src, dst, msg, "loss")
             return
         send_done = self._queue.now
@@ -202,8 +274,32 @@ class SimNetwork(Instrumented):
         # FIFO per ordered pair: never deliver before an earlier send.
         key = (src, dst)
         arrival = max(arrival, self._last_delivery.get(key, 0.0))
-        self._last_delivery[key] = arrival
+        if self._reorder_rate > 0.0 and self._rng is not None \
+                and self._rng.random() < self._reorder_rate:
+            # Escape the FIFO clamp: delay this delivery without advancing
+            # the clamp, so later sends can overtake it (bounded reorder).
+            self.messages_reordered += 1
+            if self._obs.enabled:
+                self._obs.counter("repro_messages_reordered_total",
+                                  src=src).inc()
+            arrival += self._rng.random() * self._reorder_window_ms
+        else:
+            self._last_delivery[key] = arrival
         self._queue.schedule(arrival, lambda: self._try_deliver(src, dst, msg))
+        if self._duplicate_rate > 0.0 and self._rng is not None \
+                and self._rng.random() < self._duplicate_rate:
+            # A stray retransmission: the copy trails the original by up to
+            # one extra one-way latency and skips the FIFO clamp too.
+            self.messages_duplicated += 1
+            if self._obs.enabled:
+                self._obs.counter("repro_messages_duplicated_total",
+                                  src=src).inc()
+            copy_at = arrival + self._rng.random() * max(
+                self.latency(src, dst), 0.1
+            )
+            self._queue.schedule(
+                copy_at, lambda: self._try_deliver(src, dst, msg)
+            )
 
     def _drop(self, src: int, dst: int, msg: Any, reason: str) -> None:
         """Account one dropped message (``reason``: ``link_down`` for a

@@ -93,6 +93,11 @@ class ClosedLoopClient(Instrumented):
     def decided_count(self) -> int:
         return len(self._seen)
 
+    @property
+    def next_seq(self) -> int:
+        """Sequence numbers below this have been handed out (SC1 bound)."""
+        return self._next_seq
+
     def latency_percentiles(self) -> Dict[str, float]:
         """p50/p95/p99 user-perceived latency in ms (first submission to
         first decided observation)."""

@@ -1,0 +1,134 @@
+"""Leader crash-then-restart in the middle of follower resynchronization.
+
+The scenario the fail-recovery model (paper section 3) is really about:
+a follower falls behind during a partition, the heal triggers the
+leader's catch-up machinery (Omni-Paxos: Prepare/AcceptSync; Raft:
+AppendEntries backtracking), and the leader dies with that exchange in
+flight. The cluster must elect a successor, keep deciding, and absorb
+the old leader's restart — with its storage intact or wiped — without
+ever violating log-prefix agreement.
+"""
+
+import pytest
+
+from repro.chaos.checker import DecidedLogChecker
+from repro.omni.invariants import check_all
+from repro.sim.harness import ExperimentConfig, build_experiment, make_replica
+
+from dataclasses import replace
+
+#: The satellite names Omni-Paxos and the Raft baseline explicitly.
+PROTOCOLS = ("omni", "raft")
+
+
+class CrashRecoveryRig:
+    """Drives the common scenario; assertions live in the tests."""
+
+    def __init__(self, protocol: str, seed: int = 0):
+        self.cfg = ExperimentConfig(
+            protocol=protocol,
+            num_servers=3,
+            election_timeout_ms=100.0,
+            one_way_ms=0.1,
+            seed=seed,
+            initial_leader=1,
+        )
+        self.exp = build_experiment(self.cfg)
+        self.cluster = self.exp.cluster
+        self.client = self.exp.make_client(concurrent_proposals=4)
+        self.checker = DecidedLogChecker()
+        self.cluster.on_decided(self.checker.observe)
+
+    def decided_len(self) -> int:
+        return len(self.checker.canonical)
+
+    def isolate_follower(self, pid: int = 3) -> None:
+        for peer in (1, 2):
+            self.cluster.set_link(peer, pid, False)
+
+    def heal_and_crash_leader_mid_sync(self, follower: int = 3,
+                                       crash_after_ms: float = 0.35) -> None:
+        """Reconnect the lagging follower and kill the leader while the
+        resulting catch-up exchange is still in flight (sub-RTT window)."""
+        for peer in (1, 2):
+            self.cluster.set_link(peer, follower, True)
+        self.cluster.run_until(self.cluster.now + crash_after_ms)
+        self.cluster.crash(1)
+
+    def restart_leader(self, wipe: bool) -> None:
+        if wipe:
+            fresh = make_replica(replace(self.cfg, initial_leader=None), 1)
+            self.cluster.replace_replica(1, fresh)
+            self.checker.forget(1)
+        else:
+            self.cluster.recover(1)
+
+    def converged(self) -> bool:
+        counts = {self.checker.next_idx.get(pid, 0)
+                  for pid in self.cluster.pids}
+        return len(counts) == 1
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("wipe", (False, True), ids=("intact", "wiped"))
+def test_leader_crash_mid_sync_then_restart(protocol, wipe):
+    rig = CrashRecoveryRig(protocol)
+    cluster = rig.cluster
+
+    # Steady state under the seeded leader.
+    cluster.run_for(500.0)
+    assert 1 in cluster.leaders()
+    baseline = rig.decided_len()
+    assert baseline > 0
+
+    # Follower 3 lags while {1, 2} keep deciding.
+    rig.isolate_follower(3)
+    cluster.run_for(600.0)
+    lagged = rig.decided_len()
+    assert lagged > baseline
+
+    # Heal, then crash the leader inside the catch-up window.
+    rig.heal_and_crash_leader_mid_sync(follower=3)
+    assert cluster.is_crashed(1)
+
+    # A successor among {2, 3} takes over and progress resumes.
+    cluster.run_for(2_000.0)
+    assert rig.checker.ok, rig.checker.violation
+    post_crash = rig.decided_len()
+    assert post_crash > lagged
+    assert any(leader != 1 for leader in cluster.leaders())
+
+    # The old leader returns (intact storage or a wiped disk) and rejoins.
+    rig.restart_leader(wipe=wipe)
+    cluster.run_for(2_000.0)
+
+    assert rig.checker.ok, rig.checker.violation
+    assert rig.decided_len() > post_crash
+    # Quiesce the workload: with proposals in flight, followers trail the
+    # leader's apply watermark by one commit-notification round trip.
+    rig.client.stop()
+    cluster.run_for(1_000.0)
+    assert rig.converged(), rig.checker.next_idx
+    if protocol == "omni":
+        check_all([cluster.replica(pid) for pid in cluster.pids])
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_repeated_crash_restart_cycles_stay_safe(protocol):
+    """Two consecutive crash/restart cycles of the same leader pid, the
+    second against an already once-recovered cluster."""
+    rig = CrashRecoveryRig(protocol, seed=1)
+    cluster = rig.cluster
+    cluster.run_for(500.0)
+    for _cycle in range(2):
+        rig.isolate_follower(3)
+        cluster.run_for(400.0)
+        rig.heal_and_crash_leader_mid_sync(follower=3)
+        cluster.run_for(1_500.0)
+        assert rig.checker.ok, rig.checker.violation
+        rig.restart_leader(wipe=False)
+        cluster.run_for(1_500.0)
+        assert rig.checker.ok, rig.checker.violation
+    rig.client.stop()
+    cluster.run_for(1_000.0)
+    assert rig.converged(), rig.checker.next_idx

@@ -1,0 +1,196 @@
+"""Chaos engine: schedule round-trips, bit-determinism, replay, knobs."""
+
+import json
+
+import pytest
+
+from repro.chaos.engine import run_schedule
+from repro.chaos.generator import generate_schedule
+from repro.chaos.schedule import ChaosSchedule, FaultOp, describe_op
+from repro.errors import ConfigError
+from repro.obs.events import NemesisInjected
+from repro.obs.exporters import MemorySink
+from repro.obs.registry import MetricsRegistry
+from repro.sim.harness import PROTOCOLS
+
+
+def short_schedule(seed=7, protocol="omni", **kw):
+    kw.setdefault("duration_ms", 3_000.0)
+    kw.setdefault("num_ops", 6)
+    return generate_schedule(seed, protocol, num_servers=3, **kw)
+
+
+class TestScheduleData:
+    def test_json_round_trip_is_lossless(self):
+        schedule = short_schedule()
+        again = ChaosSchedule.from_json(schedule.to_json())
+        assert again == schedule
+        assert again.digest() == schedule.digest()
+
+    def test_digest_changes_with_ops(self):
+        schedule = short_schedule()
+        assert schedule.ops, "generator should emit ops"
+        assert schedule.without_ops([0]).digest() != schedule.digest()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultOp(at_ms=0.0, kind="meteor_strike", params={})
+
+    def test_missing_params_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultOp(at_ms=0.0, kind="crash", params={"pid": 1})
+
+    def test_ops_must_be_time_ordered(self):
+        op = FaultOp(at_ms=100.0, kind="loss_burst",
+                     params={"rate": 0.1, "duration_ms": 50.0})
+        early = FaultOp(at_ms=0.0, kind="loss_burst",
+                        params={"rate": 0.1, "duration_ms": 50.0})
+        with pytest.raises(ConfigError):
+            ChaosSchedule(seed=0, protocol="omni", num_servers=3,
+                          duration_ms=1000.0, ops=(op, early))
+
+    def test_describe_covers_every_kind(self):
+        schedule = generate_schedule(3, "omni", 3, duration_ms=10_000.0,
+                                     num_ops=40, allow_wipe=True)
+        for op in schedule.ops:
+            assert describe_op(op).startswith("t=")
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_schedule(self):
+        assert short_schedule(seed=11).to_json() == \
+            short_schedule(seed=11).to_json()
+
+    def test_different_seeds_differ(self):
+        assert short_schedule(seed=11).digest() != \
+            short_schedule(seed=12).digest()
+
+    def test_wipes_only_when_allowed(self):
+        schedule = generate_schedule(5, "omni", 3, duration_ms=20_000.0,
+                                     num_ops=60, allow_wipe=False)
+        for op in schedule.ops:
+            if op.kind == "crash":
+                assert not op.params["wipe"]
+
+    def test_storage_faults_only_for_omni(self):
+        schedule = generate_schedule(5, "raft", 3, duration_ms=20_000.0,
+                                     num_ops=60)
+        assert all(op.kind != "storage_fault" for op in schedule.ops)
+
+
+class TestEngineDeterminism:
+    def test_same_schedule_bit_identical_results(self):
+        schedule = short_schedule(seed=21)
+        a = run_schedule(schedule).to_dict()
+        b = run_schedule(schedule).to_dict()
+        assert a == b
+
+    def test_replay_from_json_reproduces_exactly(self):
+        schedule = short_schedule(seed=22)
+        direct = run_schedule(schedule).to_dict()
+        replayed = run_schedule(
+            ChaosSchedule.from_json(schedule.to_json())
+        ).to_dict()
+        assert direct == replayed
+
+    def test_result_dict_is_json_serializable(self):
+        result = run_schedule(short_schedule(seed=23))
+        json.dumps(result.to_dict())
+
+
+class TestEngineRuns:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_short_schedule_is_safe(self, protocol):
+        result = run_schedule(short_schedule(seed=31, protocol=protocol))
+        assert result.ok, result.violation
+        assert result.decided_len > 0
+        assert result.ops_applied == 6
+
+    def test_wiped_restarts_run_clean_on_omni(self):
+        schedule = generate_schedule(2, "omni", 3, duration_ms=4_000.0,
+                                     num_ops=10, allow_wipe=True)
+        result = run_schedule(schedule)
+        assert result.ok, result.violation
+
+    def test_storage_fault_crashes_and_recovers(self):
+        ops = (
+            FaultOp(at_ms=600.0, kind="storage_fault",
+                    params={"pid": 1, "after_writes": 0, "mode": "fail",
+                            "heal_ms": 400.0}),
+        )
+        schedule = ChaosSchedule(seed=41, protocol="omni", num_servers=3,
+                                 duration_ms=3_000.0, ops=ops)
+        result = run_schedule(schedule)
+        assert result.ok, result.violation
+        assert result.storage_crashes >= 1
+        assert result.converged
+
+    def test_nemesis_events_exported(self):
+        registry = MetricsRegistry()
+        sink = MemorySink()
+        registry.add_sink(sink)
+        schedule = short_schedule(seed=51)
+        run_schedule(schedule, obs=registry)
+        nemesis = [r for r in sink.records
+                   if isinstance(r.event, NemesisInjected)]
+        applies = [r for r in nemesis if r.event.phase == "apply"]
+        # Every op applied shows up, plus the final heal_all marker.
+        assert len(applies) >= len(schedule.ops)
+        assert any(r.event.op == "heal_all" for r in nemesis)
+
+    def test_dup_and_reorder_bursts_account(self):
+        ops = (
+            FaultOp(at_ms=500.0, kind="dup_burst",
+                    params={"rate": 0.3, "duration_ms": 1_000.0}),
+            FaultOp(at_ms=500.0, kind="reorder_burst",
+                    params={"rate": 0.3, "window_ms": 50.0,
+                            "duration_ms": 1_000.0}),
+        )
+        schedule = ChaosSchedule(seed=61, protocol="omni", num_servers=3,
+                                 duration_ms=3_000.0, ops=ops)
+        result = run_schedule(schedule)
+        assert result.ok, result.violation
+        assert result.messages["duplicated"] > 0
+        assert result.messages["reordered"] > 0
+
+    def test_clock_skew_applies(self):
+        ops = (
+            FaultOp(at_ms=300.0, kind="clock_skew",
+                    params={"pid": 2, "factor": 3.0,
+                            "duration_ms": 1_500.0}),
+        )
+        schedule = ChaosSchedule(seed=71, protocol="omni", num_servers=3,
+                                 duration_ms=3_000.0, ops=ops)
+        result = run_schedule(schedule)
+        assert result.ok, result.violation
+        assert result.converged
+
+
+class TestTickScale:
+    def test_rejects_unknown_pid(self):
+        from repro.sim.harness import ExperimentConfig, build_experiment
+
+        exp = build_experiment(ExperimentConfig(num_servers=3))
+        with pytest.raises(ConfigError):
+            exp.cluster.set_tick_scale(99, 2.0)
+        with pytest.raises(ConfigError):
+            exp.cluster.set_tick_scale(1, 0.0)
+
+    def test_skewed_server_ticks_slower(self):
+        from repro.sim.harness import ExperimentConfig, build_experiment
+
+        exp = build_experiment(ExperimentConfig(num_servers=3, tick_ms=10.0))
+        ticks = {1: 0, 2: 0}
+        originals = {pid: exp.cluster.replica(pid) for pid in (1, 2)}
+        for pid in (1, 2):
+            orig = originals[pid].tick
+
+            def counted(now_ms, pid=pid, orig=orig):
+                ticks[pid] += 1
+                return orig(now_ms)
+
+            originals[pid].tick = counted
+        exp.cluster.set_tick_scale(2, 4.0)
+        exp.cluster.run_for(1_000.0)
+        # Server 2 checks its timers ~4x less often than server 1.
+        assert ticks[2] < ticks[1] / 2

@@ -1,0 +1,91 @@
+"""Acceptance tests for the chaos engine's bug-finding power.
+
+A deliberately injected safety bug (the promise check of ``_on_prepare``
+is bypassed, so a stale lower-ballot Prepare rolls the promise back) must
+be caught within a bounded seed sweep, and the shrinker must reduce the
+failing schedule to a minimal reproducer of at most 10 fault ops.
+"""
+
+import pytest
+
+from repro.chaos.engine import run_schedule
+from repro.chaos.generator import generate_schedule
+from repro.chaos.shrink import shrink_schedule
+from repro.omni.sequence_paxos import SequencePaxos
+
+#: Bounded sweep: the bug must surface within these seeds.
+SWEEP_SEEDS = range(1, 6)
+
+
+def _sweep_schedule(seed):
+    return generate_schedule(seed, "omni", num_servers=3,
+                             duration_ms=4_000.0, num_ops=12)
+
+
+def _reproduces(schedule):
+    # A short cooldown keeps shrinking fast; safety sweeps still run the
+    # whole scheduled window.
+    return not run_schedule(schedule, cooldown_ms=1_000.0).ok
+
+
+@pytest.fixture
+def promise_check_disabled(monkeypatch):
+    """Break safety on purpose: a Prepare carrying a *lower* ballot than
+    the current promise overwrites it, as if the check were missing."""
+    original = SequencePaxos._on_prepare
+
+    def patched(self, src, msg):
+        if msg.n < self._storage.get_promise():
+            self._storage.set_promise(msg.n)
+        return original(self, src, msg)
+
+    monkeypatch.setattr(SequencePaxos, "_on_prepare", patched)
+
+
+def _first_failing_schedule():
+    for seed in SWEEP_SEEDS:
+        schedule = _sweep_schedule(seed)
+        if _reproduces(schedule):
+            return schedule
+    return None
+
+
+class TestInjectedBugDetection:
+    def test_bounded_seed_sweep_catches_bug(self, promise_check_disabled):
+        assert _first_failing_schedule() is not None, \
+            "injected promise-check bug escaped the seed sweep"
+
+    def test_shrinker_minimizes_reproducer(self, promise_check_disabled):
+        failing = _first_failing_schedule()
+        assert failing is not None
+        shrunk, runs = shrink_schedule(failing, reproduces=_reproduces)
+        assert len(shrunk.ops) <= 10
+        assert len(shrunk.ops) < len(failing.ops)
+        assert all(op in failing.ops for op in shrunk.ops)
+        assert runs <= 200
+        assert _reproduces(shrunk)  # the minimized schedule still fails
+
+    def test_unpatched_engine_passes_same_schedules(self):
+        for seed in SWEEP_SEEDS:
+            result = run_schedule(_sweep_schedule(seed), cooldown_ms=1_000.0)
+            assert result.ok, (seed, result.violation)
+
+
+class TestShrinkerLogic:
+    def test_non_reproducing_input_returned_unchanged(self):
+        schedule = generate_schedule(7, "omni", 3, duration_ms=3_000.0,
+                                     num_ops=6)
+        shrunk, _runs = shrink_schedule(schedule, reproduces=lambda s: False)
+        assert shrunk == schedule
+
+    def test_single_guilty_op_isolated(self):
+        schedule = generate_schedule(9, "omni", 3, duration_ms=10_000.0,
+                                     num_ops=12)
+        guilty = schedule.ops[7]
+
+        def reproduces(candidate):
+            return guilty in candidate.ops
+
+        shrunk, runs = shrink_schedule(schedule, reproduces=reproduces)
+        assert shrunk.ops == (guilty,)
+        assert runs < 200

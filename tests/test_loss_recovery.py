@@ -75,6 +75,64 @@ class TestSequenceGapDetection:
         assert follower.log_len == 1
         assert not any(isinstance(m, PrepareReq) for _d, m in out)
 
+    def test_stale_session_straggler_dropped(self):
+        """A reordered AcceptDecide from *before* a re-sync must not be
+        appended after it — same ballot, matching seq, older session."""
+        from repro.omni.messages import AcceptSync
+
+        follower = make_follower()
+        follower.on_message(1, AcceptDecide(
+            n=Ballot(1, 0, 1), entries=(cmd(1),), decided_idx=0,
+            seq=1, session=1))
+        # The leader re-syncs (session 2) after a Promise/Prepare race.
+        follower.on_message(1, AcceptSync(
+            n=Ballot(1, 0, 1), suffix=(cmd(1),), sync_idx=0, decided_idx=0,
+            session=2))
+        follower.take_outbox()
+        # A delayed straggler of session 1 arrives: seq 2 is exactly what a
+        # session-blind counter would expect next. It must be dropped.
+        follower.on_message(1, AcceptDecide(
+            n=Ballot(1, 0, 1), entries=(cmd(99),), decided_idx=0,
+            seq=2, session=1))
+        out = follower.take_outbox()
+        assert follower.log_len == 1
+        assert not any(isinstance(m, PrepareReq) for _d, m in out)
+        # The current session proceeds normally.
+        follower.on_message(1, AcceptDecide(
+            n=Ballot(1, 0, 1), entries=(cmd(2),), decided_idx=0,
+            seq=1, session=2))
+        assert follower.log_len == 2
+
+    def test_duplicate_accept_sync_not_reapplied(self):
+        """A duplicated AcceptSync must not roll the log back to its old
+        sync point (it would also desynchronize the seq counters)."""
+        from repro.omni.messages import AcceptSync
+
+        follower = make_follower()
+        sync = AcceptSync(n=Ballot(1, 0, 1), suffix=(), sync_idx=0,
+                          decided_idx=0, session=1)
+        for seq in (1, 2):
+            follower.on_message(1, AcceptDecide(
+                n=Ballot(1, 0, 1), entries=(cmd(seq),), decided_idx=0,
+                seq=seq, session=1))
+        follower.on_message(1, sync)  # duplicate of the session-1 sync
+        assert follower.log_len == 2  # not truncated back to sync_idx 0
+        follower.on_message(1, AcceptDecide(
+            n=Ballot(1, 0, 1), entries=(cmd(3),), decided_idx=0,
+            seq=3, session=1))
+        assert follower.log_len == 3  # seq counter kept its position
+
+    def test_session_ahead_triggers_resync(self):
+        """An AcceptDecide whose session is ahead of the last applied sync
+        means the AcceptSync was lost: request a fresh Prepare."""
+        follower = make_follower()
+        follower.on_message(1, AcceptDecide(
+            n=Ballot(1, 0, 1), entries=(cmd(1),), decided_idx=0,
+            seq=1, session=2))
+        out = follower.take_outbox()
+        assert follower.log_len == 0
+        assert any(isinstance(m, PrepareReq) for _d, m in out)
+
     def test_full_resync_after_gap(self):
         """End-to-end: drop one AcceptDecide; the follower resynchronizes
         via PrepareReq -> Prepare -> Promise -> AcceptSync and converges."""
