@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+
+from repro.util.compat import SLOTTED
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigError, NotLeaderError
@@ -65,7 +67,7 @@ class MPRole(enum.Enum):
 # wire messages
 # --------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class P1a:
     """Phase-1 prepare: ballot plus the slot to recover from."""
 
@@ -76,7 +78,7 @@ class P1a:
         return _HEADER + 24
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class P1b:
     """Phase-1 reply. ``promised > ballot`` means preempted."""
 
@@ -90,7 +92,7 @@ class P1b:
         return _HEADER + 40 + payload
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class P2a:
     """Phase-2 accept for a batch of consecutive slots (also the leader's
     heartbeat when ``slots`` is empty)."""
@@ -105,7 +107,7 @@ class P2a:
         return _HEADER + 40 + payload
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class P2b:
     """Phase-2 reply: accepted watermark, or preemption via ``promised``."""
 
@@ -117,7 +119,7 @@ class P2b:
         return _HEADER + 40
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class Ping:
     """Failure-detector probe to the believed leader."""
 
@@ -125,7 +127,7 @@ class Ping:
         return _HEADER
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class Pong:
     """Process-alive reply — answered regardless of role, which is exactly
     why the quorum-loss pivot never suspects the degraded leader."""
@@ -138,7 +140,7 @@ class Pong:
 # configuration
 # --------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class MultiPaxosConfig:
     pid: int
     peers: Tuple[int, ...]
@@ -339,7 +341,7 @@ class MultiPaxosReplica(Replica, Instrumented):
 
     def take_decided(self) -> List[Tuple[int, Any]]:
         out, self._decided_out = self._decided_out, []
-        if out and self._obs.enabled:
+        if out and self._obs_on:
             self._obs.counter("repro_decided_entries_total",
                               pid=self.pid).inc(len(out))
             if self._obs.tracing:
@@ -423,8 +425,11 @@ class MultiPaxosReplica(Replica, Instrumented):
                 self._obs.emit(BallotElected(pid=self.pid, leader=src,
                                              ballot=msg.ballot[0]))
         self._last_pong = now_ms
+        accepted = self._accepted
+        ballot = msg.ballot
+        first_slot = msg.first_slot
         for offset, value in enumerate(msg.values):
-            self._accepted[msg.first_slot + offset] = (msg.ballot, value)
+            accepted[first_slot + offset] = (ballot, value)
         self._recompute_accepted_upto()
         if msg.decided_upto > self._decided_upto:
             self._advance_decided(msg.decided_upto)
@@ -537,8 +542,10 @@ class MultiPaxosReplica(Replica, Instrumented):
         self._maybe_decide()
 
     def _accept_locally(self, first_slot: int, values: Sequence[Any]) -> None:
+        accepted = self._accepted
+        ballot = self._ballot
         for offset, value in enumerate(values):
-            self._accepted[first_slot + offset] = (self._ballot, value)
+            accepted[first_slot + offset] = (ballot, value)
         self._recompute_accepted_upto()
 
     def _on_p2b(self, src: int, msg: P2b, now_ms: float) -> None:
@@ -600,12 +607,16 @@ class MultiPaxosReplica(Replica, Instrumented):
             self._obs.histogram("repro_recovery_duration_ms").observe(
                 self._obs.now_ms() - self._trace_recovery)
             self._trace_recovery = None
-        while self._applied_upto < self._decided_upto:
-            slot = self._applied_upto
-            self._applied_upto += 1
-            _ballot, value = self._accepted[slot]
+        applied = self._applied_upto
+        decided = self._decided_upto
+        accepted = self._accepted
+        out = self._decided_out
+        while applied < decided:
+            _ballot, value = accepted[applied]
             if value != NOOP:
-                self._decided_out.append((slot, value))
+                out.append((applied, value))
+            applied += 1
+        self._applied_upto = applied
 
     # ------------------------------------------------------------------
 

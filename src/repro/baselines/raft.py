@@ -44,6 +44,7 @@ from repro.obs.spans import entry_trace_id
 from repro.omni.entry import SnapshotInstalled, entry_wire_size
 from repro.replica import Replica
 from repro.util.rng import spawn_rng
+from repro.util.compat import SLOTTED
 
 _HEADER = 24
 
@@ -59,7 +60,7 @@ class RaftRole(enum.Enum):
 # wire messages
 # --------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class RequestVote:
     term: int
     candidate: int
@@ -71,7 +72,7 @@ class RequestVote:
         return _HEADER + 33
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class RequestVoteReply:
     term: int
     granted: bool
@@ -81,7 +82,7 @@ class RequestVoteReply:
         return _HEADER + 10
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class AppendEntries:
     term: int
     leader: int
@@ -98,7 +99,7 @@ class AppendEntries:
         return _HEADER + 44 + payload
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class AppendEntriesReply:
     term: int
     success: bool
@@ -111,7 +112,7 @@ class AppendEntriesReply:
         return _HEADER + 21
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class RaftSlot:
     """One log slot: the term it was appended in plus the client entry."""
 
@@ -119,7 +120,7 @@ class RaftSlot:
     entry: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class TimeoutNow:
     """Leader -> chosen successor: campaign immediately (leadership
     transfer, as in etcd/TiKV). The recipient skips PreVote — the sender is
@@ -131,7 +132,7 @@ class TimeoutNow:
         return _HEADER + 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class RaftConfigChange:
     """A membership-change log entry (takes effect when committed)."""
 
@@ -141,7 +142,7 @@ class RaftConfigChange:
         return 16 + 8 * len(self.servers)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class InstallSnapshot:
     """Leader -> far-behind follower: state replacing entries
     ``[0, last_idx)`` (whose final term was ``last_term``)."""
@@ -167,7 +168,7 @@ class InstallSnapshot:
 # configuration
 # --------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class RaftConfig:
     """Static configuration of one Raft server.
 
@@ -521,7 +522,7 @@ class RaftReplica(Replica, Instrumented):
 
     def take_decided(self) -> List[Tuple[int, Any]]:
         out, self._decided_out = self._decided_out, []
-        if out and self._obs.enabled:
+        if out and self._obs_on:
             self._obs.counter("repro_decided_entries_total",
                               pid=self.pid).inc(len(out))
             if self._obs.tracing:
@@ -735,8 +736,12 @@ class RaftReplica(Replica, Instrumented):
     def _broadcast_append(self, now_ms: float, heartbeat: bool = False) -> None:
         if self._role is not RaftRole.LEADER:
             return
+        # In steady state every follower has the same next_idx, so the
+        # per-peer log slices of one fan-out are identical; share them
+        # through a broadcast-scoped memo instead of re-slicing per peer.
+        memo: Dict[Tuple[int, int], Tuple[RaftSlot, ...]] = {}
         for peer in sorted(self._replication_targets):
-            self._send_append(peer, now_ms, force=heartbeat)
+            self._send_append(peer, now_ms, force=heartbeat, slice_memo=memo)
 
     def _should_snapshot_to(self, next_idx: int) -> bool:
         threshold = self._config.snapshot_catchup_threshold
@@ -801,7 +806,10 @@ class RaftReplica(Replica, Instrumented):
             self._set_commit(min(msg.leader_commit, len(self._log)))
         self._send(src, AppendEntriesReply(self._term, True, len(self._log)))
 
-    def _send_append(self, peer: int, now_ms: float, force: bool = False) -> None:
+    def _send_append(self, peer: int, now_ms: float, force: bool = False,
+                     slice_memo: Optional[Dict[Tuple[int, int],
+                                              Tuple[RaftSlot, ...]]] = None,
+                     ) -> None:
         next_idx = self._next_idx.get(peer, len(self._log))
         if self._should_snapshot_to(next_idx) or \
                 self._log.covered_by_snapshot(next_idx + 1):
@@ -815,7 +823,13 @@ class RaftReplica(Replica, Instrumented):
         window_open = next_idx - self._match_idx.get(peer, 0) <= 2 * max_batch
         entries: Tuple[RaftSlot, ...] = ()
         if window_open:
-            entries = self._log.slice(next_idx, next_idx + max_batch)
+            key = (next_idx, next_idx + max_batch)
+            if slice_memo is not None and key in slice_memo:
+                entries = slice_memo[key]
+            else:
+                entries = self._log.slice(next_idx, next_idx + max_batch)
+                if slice_memo is not None:
+                    slice_memo[key] = entries
         if not entries and not force:
             return
         prev_idx = next_idx

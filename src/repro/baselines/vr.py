@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+
+from repro.util.compat import SLOTTED
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigError
@@ -45,7 +47,7 @@ class VRStatus(enum.Enum):
     VIEW_CHANGE = "view-change"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class StartViewChange:
     """'I want (or heard of) a change to view ``view``' — gossiped."""
 
@@ -55,7 +57,7 @@ class StartViewChange:
         return _HEADER + 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class DoViewChange:
     """Sent to the new primary by replicas that saw a majority of
     StartViewChange messages for ``view``."""
@@ -66,7 +68,7 @@ class DoViewChange:
         return _HEADER + 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class StartView:
     """The new primary announces that ``view`` is operational."""
 
@@ -76,7 +78,7 @@ class StartView:
         return _HEADER + 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class VRPing:
     """Primary liveness heartbeat within a view."""
 
@@ -86,7 +88,7 @@ class VRPing:
         return _HEADER + 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class VRConfig:
     pid: int
     servers: Tuple[int, ...]

@@ -1,0 +1,27 @@
+"""repro.bench: the deterministic micro/macro benchmark harness.
+
+The harness answers two questions the figures of the paper depend on:
+
+- *how fast is the simulator's hot path* (events/sec through the
+  :class:`~repro.sim.events.EventQueue`, sends/sec through
+  :class:`~repro.sim.network.SimNetwork`, decided-entries/sec through the
+  Sequence Paxos commit loop, frames/sec through the runtime codec), and
+- *did an optimization change behaviour* — every bench reports
+  deterministic counters (event/message/decided counts and decided-log
+  digests) that must be bit-identical for a given seed regardless of how
+  fast the code runs.
+
+Wall-clock numbers vary run to run; the deterministic counters may not.
+``repro-bench`` (see :mod:`repro.tools.bench`) is the CLI front-end.
+"""
+
+from repro.bench.runner import (  # noqa: F401
+    BUDGETS,
+    bench_meta,
+    compare_results,
+    deterministic_view,
+    load_json,
+    save_json,
+)
+from repro.bench.micro import run_micro_suite  # noqa: F401
+from repro.bench.macro import run_macro, run_macro_suite  # noqa: F401

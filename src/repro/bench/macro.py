@@ -1,0 +1,124 @@
+"""End-to-end simulator throughput benchmarks, one per protocol.
+
+Each macro bench builds a full experiment (cluster + closed-loop client),
+runs it for a fixed stretch of *virtual* time, and reports:
+
+- wall-clock events/sec — how fast the simulator chews through the run,
+- decided entries (and decided/sec of virtual time) — protocol progress,
+- a decided-log digest over every server's decided stream — the
+  behavioural fingerprint that must survive any optimization, and
+- optionally a per-phase commit breakdown assembled from tracing spans.
+
+The virtual-time workload is fully determined by the seed, so two runs
+with the same seed must agree on every counter and digest; only the wall
+clock may differ.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.bench.runner import LogDigest, make_result, timed
+from repro.obs.exporters import MemorySink
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import assemble_spans
+from repro.sim.harness import ExperimentConfig, build_experiment
+
+
+def run_macro(protocol: str, duration_ms: float, cp: int,
+              seed: int = 0, num_servers: int = 5,
+              trace: bool = False) -> Dict[str, Any]:
+    """One end-to-end run of ``protocol`` under the closed-loop workload.
+
+    With ``trace=True`` the run carries full causal tracing and the result
+    gains a ``phases`` block (commit-span phase durations); tracing adds
+    overhead, so traced numbers are not comparable to untraced ones.
+    """
+    cfg = ExperimentConfig(protocol=protocol, num_servers=num_servers,
+                           election_timeout_ms=100.0, one_way_ms=0.1,
+                           seed=seed, initial_leader=1)
+    registry: Optional[MetricsRegistry] = None
+    sink: Optional[MemorySink] = None
+    if trace:
+        registry = MetricsRegistry()
+        registry.enable_tracing()
+        sink = MemorySink()
+        registry.add_sink(sink)
+
+    def run() -> Dict[str, Any]:
+        exp = build_experiment(cfg, obs=registry)
+        digest = LogDigest()
+        exp.cluster.on_decided(
+            lambda pid, idx, entry, now: digest.record(pid, idx, entry))
+        client = exp.make_client(concurrent_proposals=cp)
+        warmup_ms = 5 * cfg.election_timeout_ms
+        exp.cluster.run_for(warmup_ms)
+        start_events = exp.queue.processed
+        start_decided = client.tracker.count
+        exp.cluster.run_for(duration_ms)
+        decided = client.tracker.count - start_decided
+        events = exp.queue.processed - start_events
+        out: Dict[str, Any] = {
+            "events": events,
+            "decided": decided,
+            "counters": {
+                "events_processed": exp.queue.processed,
+                "messages_sent": exp.network.messages_sent,
+                "decided_total": client.tracker.count,
+                "proposals_sent": client.proposals_sent,
+                "reproposals": client.reproposals,
+                "decided_log_digest": digest.hexdigest(),
+            },
+            "decided_per_virtual_s": round(
+                decided / (duration_ms / 1000.0), 1),
+        }
+        return out
+
+    out, wall = timed(run)
+    result = make_result(
+        f"sim_{protocol}", wall, out["events"], out["counters"],
+        extra={
+            "decided_entries": out["decided"],
+            "decided_per_virtual_s": out["decided_per_virtual_s"],
+            "decided_per_wall_s": round(out["decided"] / wall, 1)
+            if wall > 0 else 0.0,
+        },
+    )
+    if trace and sink is not None:
+        result["phases"] = _phase_breakdown(sink)
+    return result
+
+
+def _phase_breakdown(sink: MemorySink) -> Dict[str, Any]:
+    """Commit-span phase durations from the run's tracing events."""
+    spans = assemble_spans(sink.records)
+    phases: Dict[str, Dict[str, float]] = {}
+    totals: Dict[str, list] = {}
+    for span in spans:
+        if span.kind != "commit":
+            continue
+        for phase, duration in span.phase_durations():
+            totals.setdefault(phase, []).append(duration)
+    for phase, values in sorted(totals.items()):
+        values.sort()
+        phases[phase] = {
+            "count": len(values),
+            "mean_ms": round(sum(values) / len(values), 3),
+            "p95_ms": round(values[int(0.95 * (len(values) - 1))], 3),
+        }
+    return phases
+
+
+def run_macro_suite(budget: Dict[str, Any], seed: int = 0,
+                    trace: bool = False) -> Dict[str, Dict[str, Any]]:
+    """Run the macro bench for every protocol in the budget."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for protocol in budget["macro_protocols"]:
+        out[f"sim_{protocol}"] = run_macro(
+            protocol,
+            duration_ms=budget["macro_duration_ms"],
+            cp=budget["macro_cp"],
+            seed=seed,
+            trace=trace,
+        )
+    return out

@@ -1,0 +1,219 @@
+"""Microbenchmarks for the simulator's hot paths.
+
+Each bench isolates one layer — the event queue, the network send path,
+the Sequence Paxos commit loop, the runtime codec — and reports wall-clock
+ops/sec next to the deterministic counters that pin its behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+from repro.bench.runner import LogDigest, make_result, timed
+from repro.omni.ballot import Ballot
+from repro.omni.entry import Command
+from repro.omni.messages import (
+    AcceptDecide,
+    COMPONENT_SP,
+    Envelope,
+    HeartbeatRequest,
+)
+from repro.runtime.codec import FrameDecoder, encode_frame
+from repro.sim.events import EventQueue
+from repro.sim.harness import ExperimentConfig, build_experiment
+from repro.sim.network import NetworkParams, SimNetwork
+
+
+def bench_event_queue(n_events: int, seed: int = 0) -> Dict[str, Any]:
+    """Push/pop through :class:`EventQueue` — the simulator's innermost loop.
+
+    Two phases with ``n_events`` each: a bulk phase (schedule everything,
+    then drain) and a chain phase (each callback schedules the next), which
+    is how protocol timers actually drive the queue.
+    """
+    rng = random.Random(seed)
+    times = [rng.random() * 1_000.0 for _ in range(n_events)]
+
+    def run() -> int:
+        queue = EventQueue()
+        fired = 0
+
+        def bump() -> None:
+            nonlocal fired
+            fired += 1
+
+        for at in times:
+            queue.schedule(at, bump)
+        queue.run_until(1_000.0)
+
+        remaining = n_events
+
+        def chain() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining > 0:
+                queue.schedule_in(0.1, chain)
+
+        queue.schedule_in(0.1, chain)
+        queue.run_until(2_000.0 + 0.1 * n_events)
+        assert fired == n_events and remaining == 0
+        return queue.processed
+
+    processed, wall = timed(run)
+    return make_result("event_queue", wall, 2 * n_events,
+                       {"events_processed": processed})
+
+
+def bench_network_send(n_sends: int, num_servers: int = 5,
+                       seed: int = 0) -> Dict[str, Any]:
+    """Fan ``n_sends`` messages through :class:`SimNetwork`.
+
+    Round-robins over every ordered server pair so the FIFO clamp, latency
+    lookup, and delivery scheduling all stay hot; the queue is drained in
+    slabs so the heap stays at realistic size.
+    """
+    pairs = [(a, b)
+             for a in range(1, num_servers + 1)
+             for b in range(1, num_servers + 1) if a != b]
+
+    def run() -> Dict[str, int]:
+        queue = EventQueue()
+        network = SimNetwork(queue, NetworkParams(one_way_ms=0.1))
+        # One asymmetric override so the per-link lookup path is exercised.
+        network.set_latency(1, 2, 0.3)
+        delivered = 0
+
+        def on_deliver(src: int, dst: int, msg: Any) -> None:
+            nonlocal delivered
+            delivered += 1
+
+        network.on_deliver(on_deliver)
+        msg = HeartbeatRequest(round=1)
+        n_pairs = len(pairs)
+        sent = 0
+        while sent < n_sends:
+            slab = min(2_000, n_sends - sent)
+            for i in range(slab):
+                src, dst = pairs[(sent + i) % n_pairs]
+                network.send(src, dst, msg)
+            sent += slab
+            queue.run_for(10.0)
+        queue.run_for(10.0)
+        assert delivered == n_sends
+        return {
+            "messages_sent": network.messages_sent,
+            "messages_delivered": delivered,
+            "events_processed": queue.processed,
+        }
+
+    counters, wall = timed(run)
+    return make_result("network_send", wall, n_sends, counters)
+
+
+def bench_commit_loop(n_batches: int, batch_entries: int,
+                      seed: int = 0) -> Dict[str, Any]:
+    """The Sequence Paxos ``propose_batch`` -> ``Decide`` commit loop.
+
+    Drives a 3-server omni cluster end to end: each iteration proposes one
+    batch at the leader and advances virtual time until the next, so
+    replication, quorum accounting, and decide fan-out dominate the
+    profile. ``ops`` counts decided entries.
+    """
+    cfg = ExperimentConfig(protocol="omni", num_servers=3,
+                           election_timeout_ms=100.0, one_way_ms=0.1,
+                           seed=seed, initial_leader=1)
+
+    def run() -> Dict[str, Any]:
+        exp = build_experiment(cfg)
+        digest = LogDigest()
+        decided_at_leader = 0
+
+        def observer(pid: int, idx: int, entry: Any, now: float) -> None:
+            nonlocal decided_at_leader
+            digest.record(pid, idx, entry)
+            if pid == 1:
+                decided_at_leader += 1
+
+        exp.cluster.on_decided(observer)
+        exp.cluster.run_for(5 * cfg.election_timeout_ms)
+        leaders = exp.cluster.leaders()
+        assert leaders == [1], f"expected pre-seeded leader, got {leaders}"
+        payload = bytes(8)
+        seq = 0
+        for _ in range(n_batches):
+            batch = []
+            for _ in range(batch_entries):
+                batch.append(Command(data=payload, client_id=1, seq=seq))
+                seq += 1
+            exp.cluster.propose_batch(1, batch)
+            exp.cluster.run_for(1.0)
+        exp.cluster.run_for(50.0)
+        return {
+            "decided": decided_at_leader,
+            "counters": {
+                "decided_entries": decided_at_leader,
+                "events_processed": exp.queue.processed,
+                "messages_sent": exp.network.messages_sent,
+                "decided_log_digest": digest.hexdigest(),
+            },
+        }
+
+    out, wall = timed(run)
+    return make_result("commit_loop", wall, out["decided"], out["counters"])
+
+
+def bench_codec(n_frames: int, seed: int = 0) -> Dict[str, Any]:
+    """Encode/decode round trips through the runtime framing codec.
+
+    Each frame is a realistic leader->follower message: an Envelope around
+    an AcceptDecide carrying 16 commands. Decoding feeds the stream in 4 KiB
+    chunks so the incremental reassembly path is measured, not just
+    ``pickle.loads``.
+    """
+    entries = tuple(Command(data=bytes(8), client_id=1, seq=i)
+                    for i in range(16))
+    message = Envelope(
+        config_id=0, component=COMPONENT_SP,
+        payload=AcceptDecide(n=Ballot(n=2, priority=0, pid=1),
+                             entries=entries, decided_idx=0,
+                             seq=1, session=1),
+    )
+
+    def run() -> Dict[str, int]:
+        frame = encode_frame(1, message)
+        stream = frame * n_frames
+        decoder = FrameDecoder()
+        decoded = 0
+        view = memoryview(stream)
+        for off in range(0, len(stream), 4096):
+            decoded += len(decoder.feed(bytes(view[off:off + 4096])))
+        assert decoded == n_frames
+        return {
+            "frames_decoded": decoded,
+            "frame_bytes": len(frame),
+            "stream_bytes": len(stream),
+        }
+
+    counters, wall = timed(run)
+    return make_result("codec", wall, n_frames, counters)
+
+
+def run_micro_suite(budget: Dict[str, Any], seed: int = 0,
+                    only: List[str] = None) -> Dict[str, Dict[str, Any]]:
+    """Run every microbench under ``budget``; return ``{name: result}``."""
+    benches = {
+        "event_queue": lambda: bench_event_queue(
+            budget["event_queue_events"], seed),
+        "network_send": lambda: bench_network_send(
+            budget["network_sends"], seed=seed),
+        "commit_loop": lambda: bench_commit_loop(
+            budget["commit_batches"], budget["commit_batch_entries"], seed),
+        "codec": lambda: bench_codec(budget["codec_frames"], seed),
+    }
+    out: Dict[str, Dict[str, Any]] = {}
+    for name, bench in benches.items():
+        if only and name not in only:
+            continue
+        out[name] = bench()
+    return out

@@ -1,0 +1,191 @@
+"""Timing, budgets, and JSON plumbing shared by the micro/macro benches.
+
+Every bench result is a plain dict so the whole suite serializes straight
+to ``BENCH_*.json``::
+
+    {
+      "name": "event_queue",
+      "wall_s": 0.412,
+      "ops": 400000,
+      "ops_per_sec": 970873.8,
+      "counters": {"events_processed": 400000}
+    }
+
+``counters`` holds only *deterministic* quantities — values that must be
+identical across two runs with the same seed and budget. ``wall_s`` /
+``ops_per_sec`` are the only fields allowed to differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: Named budgets scale every bench; "smoke" is sized for CI seconds.
+BUDGETS: Dict[str, Dict[str, Any]] = {
+    "smoke": {
+        "event_queue_events": 20_000,
+        "network_sends": 10_000,
+        "commit_batches": 40,
+        "commit_batch_entries": 32,
+        "codec_frames": 2_000,
+        "macro_duration_ms": 1_000.0,
+        "macro_cp": 32,
+        "macro_protocols": ("omni", "raft"),
+    },
+    "default": {
+        "event_queue_events": 200_000,
+        "network_sends": 150_000,
+        "commit_batches": 300,
+        "commit_batch_entries": 64,
+        "codec_frames": 20_000,
+        "macro_duration_ms": 4_000.0,
+        "macro_cp": 64,
+        "macro_protocols": ("omni", "raft", "raft_pvcq", "multipaxos", "vr"),
+    },
+    "full": {
+        "event_queue_events": 1_000_000,
+        "network_sends": 600_000,
+        "commit_batches": 1_200,
+        "commit_batch_entries": 64,
+        "codec_frames": 100_000,
+        "macro_duration_ms": 15_000.0,
+        "macro_cp": 128,
+        "macro_protocols": ("omni", "raft", "raft_pvcq", "multipaxos", "vr"),
+    },
+}
+
+
+def timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``fn`` once; return ``(result, wall_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def make_result(name: str, wall_s: float, ops: int,
+                counters: Dict[str, Any],
+                extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Assemble one bench's result dict (see module docstring)."""
+    out: Dict[str, Any] = {
+        "name": name,
+        "wall_s": round(wall_s, 6),
+        "ops": ops,
+        "ops_per_sec": round(ops / wall_s, 1) if wall_s > 0 else 0.0,
+        "counters": counters,
+    }
+    if extra:
+        out.update(extra)
+    return out
+
+
+class LogDigest:
+    """Incremental decided-log digest, one lane per server.
+
+    Feed every ``(pid, idx, entry)`` the cluster decides; the final
+    :meth:`hexdigest` is a stable fingerprint of *what* each server decided
+    and in *which order* — byte-identical behaviour gives byte-identical
+    digests, no matter how long the run took in wall-clock.
+    """
+
+    def __init__(self) -> None:
+        self._lanes: Dict[int, "hashlib._Hash"] = {}
+
+    def record(self, pid: int, idx: int, entry: Any) -> None:
+        lane = self._lanes.get(pid)
+        if lane is None:
+            lane = self._lanes[pid] = hashlib.sha256()
+        lane.update(f"{idx}:{entry!r};".encode())
+
+    def hexdigest(self) -> str:
+        outer = hashlib.sha256()
+        for pid in sorted(self._lanes):
+            outer.update(f"{pid}={self._lanes[pid].hexdigest()};".encode())
+        return outer.hexdigest()
+
+
+def bench_meta(budget: str, seed: int) -> Dict[str, Any]:
+    """Provenance block stamped into every bench document."""
+    return {
+        "budget": budget,
+        "seed": seed,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+def deterministic_view(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Strip a bench document down to its deterministic counters.
+
+    This is what the CI smoke job diffs against the committed baseline:
+    ``{bench_name: counters}`` with all timing fields removed.
+    """
+    out: Dict[str, Any] = {}
+    for section in ("micro", "macro"):
+        for name, result in sorted(doc.get(section, {}).items()):
+            out[f"{section}.{name}"] = dict(result.get("counters", {}))
+    return out
+
+
+#: Counters that are deterministic *within* one build (so the CI smoke job
+#: still diffs them against its committed baseline) but depend on the wire
+#: encoding rather than on protocol behaviour: frame byte counts change
+#: whenever message pickling changes shape (e.g. dict state vs tuple state
+#: for slotted dataclasses). Cross-version before/after comparisons ignore
+#: them; decided-log digests and frame *counts* remain authoritative.
+INFORMATIONAL_COUNTERS = frozenset({"frame_bytes", "stream_bytes"})
+
+
+def compare_results(before: Dict[str, Any],
+                    after: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge two bench documents into a before/after comparison.
+
+    Speedups are ``after.ops_per_sec / before.ops_per_sec`` per bench.
+    ``behaviour_identical`` is True only when every deterministic counter
+    (including decided-log digests) matches between the two documents —
+    the harness's proof that an optimization did not change protocol
+    behaviour. Counters in :data:`INFORMATIONAL_COUNTERS` are excluded:
+    they track the wire encoding, not the protocol.
+    """
+    speedup: Dict[str, float] = {}
+    for section in ("micro", "macro"):
+        for name, b in before.get(section, {}).items():
+            a = after.get(section, {}).get(name)
+            if a is None or not b.get("ops_per_sec"):
+                continue
+            speedup[f"{section}.{name}"] = round(
+                a["ops_per_sec"] / b["ops_per_sec"], 3)
+    def _behavioural(det: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            name: {k: v for k, v in counters.items()
+                   if k not in INFORMATIONAL_COUNTERS}
+            for name, counters in det.items()
+        }
+
+    b_det = _behavioural(deterministic_view(before))
+    a_det = _behavioural(deterministic_view(after))
+    mismatches = sorted(
+        name for name in set(b_det) | set(a_det)
+        if b_det.get(name) != a_det.get(name)
+    )
+    return {
+        "speedup": speedup,
+        "behaviour_identical": not mismatches,
+        "counter_mismatches": mismatches,
+    }
+
+
+def save_json(path: str, payload: Dict[str, Any]) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)

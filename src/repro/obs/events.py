@@ -16,19 +16,21 @@ JSON-lines exporter and the ``repro-obs`` report CLI.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+
+from repro.util.compat import SLOTTED
 from typing import Any, ClassVar, Dict, Optional, Tuple, Type
 
 from repro.errors import ConfigError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class ProtocolEvent:
     """Base class; subclasses define ``kind`` and their payload fields."""
 
     kind: ClassVar[str] = "ProtocolEvent"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class BallotElected(ProtocolEvent):
     """Server ``pid`` observed ``leader`` elected with ballot/term/view
     number ``ballot`` (BLE election, Raft term win, MP Phase-1 completion,
@@ -40,7 +42,7 @@ class BallotElected(ProtocolEvent):
     ballot: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class BallotBumped(ProtocolEvent):
     """Server ``pid`` bumped its own ballot to ``ballot`` attempting a
     takeover (BLE check_leader with the leader's ballot absent)."""
@@ -50,7 +52,7 @@ class BallotBumped(ProtocolEvent):
     ballot: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class QCFlagChanged(ProtocolEvent):
     """Server ``pid``'s quorum-connected flag flipped (paper section 5.2:
     the flag that keeps non-QC servers from churning ballots)."""
@@ -60,7 +62,7 @@ class QCFlagChanged(ProtocolEvent):
     quorum_connected: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class RoleChanged(ProtocolEvent):
     """Server ``pid`` changed replication role (``leader`` / ``follower`` /
     ``candidate`` / ``precandidate``). ``protocol`` names the emitting
@@ -72,7 +74,7 @@ class RoleChanged(ProtocolEvent):
     protocol: str = "sp"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class StopSignDecided(ProtocolEvent):
     """Server ``pid`` decided the stop-sign ending configuration
     ``config_id``; the cluster moves to ``next_config_id`` = ``servers``."""
@@ -84,7 +86,7 @@ class StopSignDecided(ProtocolEvent):
     servers: Tuple[int, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class MigrationDonorPicked(ProtocolEvent):
     """Joining server ``pid`` requested log range ``[from_idx, to_idx)``
     of configuration ``config_id`` from ``donor`` (paper section 6:
@@ -98,7 +100,7 @@ class MigrationDonorPicked(ProtocolEvent):
     to_idx: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class MigrationCompleted(ProtocolEvent):
     """Joining server ``pid`` finished migrating ``entries`` log entries
     for configuration ``config_id`` in ``duration_ms``."""
@@ -110,7 +112,7 @@ class MigrationCompleted(ProtocolEvent):
     duration_ms: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class MigrationSegmentReceived(ProtocolEvent):
     """Joining server ``pid`` received ``entries`` migrated log entries
     starting at ``from_idx`` from ``donor`` — the per-donor signal that
@@ -124,7 +126,7 @@ class MigrationSegmentReceived(ProtocolEvent):
     entries: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class SessionDropped(ProtocolEvent):
     """Server ``pid`` observed the link session to ``peer`` drop and
     re-establish (triggers PrepareReq handling, paper section 4.1.3)."""
@@ -134,7 +136,7 @@ class SessionDropped(ProtocolEvent):
     peer: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class ClientReplyDecided(ProtocolEvent):
     """The closed-loop client observed command ``seq`` decided. The stream
     of these events *is* the paper's throughput/down-time signal — the
@@ -155,7 +157,7 @@ class ClientReplyDecided(ProtocolEvent):
 # --------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class ProposalAppended(ProtocolEvent):
     """Leader ``pid`` appended entries ``[from_idx, to_idx)`` to its
     replication log and fanned them out (AcceptDecide / AppendEntries /
@@ -169,7 +171,7 @@ class ProposalAppended(ProtocolEvent):
     trace_id: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class QuorumAccepted(ProtocolEvent):
     """Leader ``pid`` observed a majority accept through ``log_idx`` and
     advanced the decided index — the quorum milestone of a commit span."""
@@ -180,7 +182,7 @@ class QuorumAccepted(ProtocolEvent):
     protocol: str = "sp"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class EntryApplied(ProtocolEvent):
     """Server ``pid`` surfaced ``count`` decided entries (through
     ``log_idx``) to the application — the apply milestone of a commit
@@ -192,7 +194,7 @@ class EntryApplied(ProtocolEvent):
     count: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class RecoveryStarted(ProtocolEvent):
     """Server ``pid`` began resynchronizing: ``reason`` is ``"crash"``
     (restart, PrepareReq broadcast) or ``"session"`` (link session drop,
@@ -203,7 +205,7 @@ class RecoveryStarted(ProtocolEvent):
     reason: str = "crash"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class RecoveryCompleted(ProtocolEvent):
     """Server ``pid`` finished resynchronizing (AcceptSync applied, or
     re-elected with a fresh log) with ``log_idx`` entries."""
@@ -213,7 +215,7 @@ class RecoveryCompleted(ProtocolEvent):
     log_idx: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class ClientProposalSent(ProtocolEvent):
     """The closed-loop client sent commands ``[first_seq, first_seq +
     count)`` — the start anchor of client round-trip spans."""
@@ -224,7 +226,7 @@ class ClientProposalSent(ProtocolEvent):
     count: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class NemesisInjected(ProtocolEvent):
     """The chaos engine applied (``phase="apply"``) or reverted
     (``phase="revert"``) a fault op of kind ``op`` — crash, partition,
@@ -238,7 +240,7 @@ class NemesisInjected(ProtocolEvent):
     detail: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class EventRecord:
     """One emitted event plus its registry-stamped emission time."""
 

@@ -284,11 +284,19 @@ class Instrumented:
 
     The default is the class-level :data:`NULL_REGISTRY` — no per-instance
     cost, no ``__init__`` changes needed. Emission sites guard with
-    ``if self._obs.enabled:``. Components that own sub-components override
-    :meth:`_on_observability` to propagate the registry.
+    ``if self._obs.enabled:``, or — on the hottest paths — with the cached
+    ``if self._obs_on:``, which makes the disabled case cost exactly one
+    attribute read. The cache is sound because ``enabled`` is fixed per
+    registry (``True`` for real registries, ``False`` only for the null
+    singleton); it is refreshed on every :meth:`set_observability`.
+    Components that own sub-components override :meth:`_on_observability`
+    to propagate the registry.
     """
 
     _obs: MetricsRegistry = NULL_REGISTRY
+    #: Cached ``registry.enabled`` — the single attribute check hot paths
+    #: pay when observability is off (class default matches NULL_REGISTRY).
+    _obs_on: bool = False
 
     @property
     def obs(self) -> MetricsRegistry:
@@ -296,6 +304,7 @@ class Instrumented:
 
     def set_observability(self, registry: MetricsRegistry) -> None:
         self._obs = registry
+        self._obs_on = registry.enabled
         self._on_observability(registry)
 
     def _on_observability(self, registry: MetricsRegistry) -> None:

@@ -26,6 +26,8 @@ guarantee of the observability layer.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.util.compat import SLOTTED
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.events import (
@@ -65,7 +67,7 @@ SPAN_KINDS = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class TraceContext:
     """Trace identity carried on an :class:`~repro.omni.messages.Envelope`.
 
@@ -115,7 +117,7 @@ def entry_trace_id(entry: Any) -> str:
     return f"c{client_id}-{seq}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class Span:
     """One reconstructed end-to-end interval of protocol work.
 

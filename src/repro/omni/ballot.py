@@ -12,8 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.util.compat import SLOTTED, fast_frozen_pickle
 
-@dataclass(frozen=True, order=True)
+
+@fast_frozen_pickle
+@dataclass(frozen=True, order=True, **SLOTTED)
 class Ballot:
     """A totally-ordered, unique round identifier.
 
@@ -50,7 +53,8 @@ class Ballot:
 BOTTOM = Ballot(0, 0, 0)
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class QCBallot:
     """A ballot paired with the sender's quorum-connected flag.
 

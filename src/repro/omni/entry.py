@@ -10,10 +10,13 @@ transitions the cluster to ``c_{i+1}``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.util.compat import SLOTTED, fast_frozen_pickle
 from typing import Any, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class Command:
     """A client command to be applied to the replicated state machine.
 
@@ -31,7 +34,8 @@ class Command:
         return len(self.data) + 16
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class StopSign:
     """The reconfiguration entry that ends a configuration.
 
@@ -51,7 +55,8 @@ class StopSign:
         return size
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class SnapshotInstalled:
     """Marker surfaced in a replica's decided stream when a *snapshot*
     replaced a log prefix.

@@ -5,8 +5,10 @@ serialized size in bytes. The simulator uses it to account per-server IO,
 which the paper reports for the reconfiguration experiments (peak outgoing
 MB per 5 s window at the leader).
 
-Messages are frozen dataclasses: the simulator may deliver the same object
-to several recipients, so immutability is load-bearing.
+Messages are frozen (and, on 3.10+, slotted) dataclasses: the simulator
+may deliver the same object to several recipients, so immutability is
+load-bearing, and slots cut per-message memory and attribute-read cost on
+the replication hot path.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from typing import Any, Optional, Tuple
 from repro.obs.spans import TraceContext
 from repro.omni.ballot import Ballot
 from repro.omni.entry import entry_wire_size
+from repro.util.compat import SLOTTED, fast_frozen_pickle
 
 _HEADER = 24  # rough per-message framing overhead (type tag, src, dst, len)
 _BALLOT = 20  # three varints, conservatively
@@ -31,7 +34,8 @@ def entries_wire_size(entries: Tuple[Any, ...]) -> int:
 # Ballot Leader Election (paper section 5.2, Figure 4)
 # --------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class HeartbeatRequest:
     """Start-of-round probe; ``round`` identifies the heartbeat round."""
 
@@ -41,7 +45,8 @@ class HeartbeatRequest:
         return _HEADER + 8
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class HeartbeatReply:
     """Reply carrying the sender's ballot and quorum-connected flag."""
 
@@ -57,7 +62,8 @@ class HeartbeatReply:
 # Sequence Paxos (paper section 4, Figure 3)
 # --------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class Prepare:
     """Leader -> follower: open round ``n`` and ask for a promise.
 
@@ -88,7 +94,8 @@ def _snapshot_wire_size(snapshot: Optional[Tuple[Any, int]]) -> int:
         return 72
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class Promise:
     """Follower -> leader: promise round ``n``, with the leader's missing
     suffix (possibly empty).
@@ -109,7 +116,8 @@ class Promise:
                 + _snapshot_wire_size(self.snapshot))
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class AcceptSync:
     """Leader -> follower: synchronize the follower's log.
 
@@ -136,7 +144,8 @@ class AcceptSync:
                 + _snapshot_wire_size(self.snapshot))
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class AcceptDecide:
     """Leader -> follower: replicate ``entries`` (FIFO pipelined) and
     piggyback the leader's current decided index.
@@ -160,7 +169,8 @@ class AcceptDecide:
         return _HEADER + _BALLOT + 16 + entries_wire_size(self.entries)
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class Accepted:
     """Follower -> leader: the follower's log is accepted up to ``log_idx``
     (and decided up to ``decided_idx`` — the leader uses the latter to
@@ -174,7 +184,8 @@ class Accepted:
         return _HEADER + _BALLOT + 16
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class Trim:
     """Leader -> follower: every server has decided past ``trimmed_idx``;
     reclaim the log prefix below it (compaction)."""
@@ -186,7 +197,8 @@ class Trim:
         return _HEADER + _BALLOT + 8
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class Decide:
     """Leader -> follower: entries up to ``decided_idx`` are decided."""
 
@@ -197,7 +209,8 @@ class Decide:
         return _HEADER + _BALLOT + 8
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class PrepareReq:
     """Recovering server / re-established session -> peers: ask the current
     leader (if the recipient is one) to send a fresh Prepare
@@ -207,7 +220,8 @@ class PrepareReq:
         return _HEADER
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class ProposalForward:
     """Follower -> leader: forward client proposals to the leader."""
 
@@ -221,7 +235,8 @@ class ProposalForward:
 # Service layer: reconfiguration and log migration (paper section 6)
 # --------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class NewConfiguration:
     """Continuing server -> new server: announce configuration
     ``config_id`` with member set ``servers``; the joiner must fetch the
@@ -240,7 +255,8 @@ class NewConfiguration:
         return size
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class JoinComplete:
     """Server -> everyone in the new configuration: the sender has started
     ``config_id`` (so it can serve as a migration donor and needs no further
@@ -252,7 +268,8 @@ class JoinComplete:
         return _HEADER + 8
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class LogPullRequest:
     """Joining server -> donor: request decided entries
     ``[from_idx, to_idx)`` of the global replicated log."""
@@ -265,7 +282,8 @@ class LogPullRequest:
         return _HEADER + 24
 
 
-@dataclass(frozen=True)
+@fast_frozen_pickle
+@dataclass(frozen=True, **SLOTTED)
 class LogSegment:
     """Donor -> joining server: a contiguous slice of decided entries.
 
@@ -293,7 +311,7 @@ COMPONENT_SP = "sp"
 COMPONENT_SERVICE = "svc"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOTTED)
 class Envelope:
     """Routes a payload to the right component of the right configuration.
 
@@ -307,10 +325,33 @@ class Envelope:
     component: str
     payload: Any
     #: Optional causal-tracing context (see :mod:`repro.obs.spans`).
-    #: The class-level ``None`` default doubles as the backward-compat
-    #: fallback: envelopes pickled before this field existed deserialize
-    #: without an instance attribute and read ``None`` from the class.
+    #: Defaults to ``None``; ``__setstate__`` below keeps frames pickled
+    #: before this field existed (no ``trace`` in their state) readable.
     trace: Optional["TraceContext"] = None
+
+    def __getstate__(self,
+                     _names=("config_id", "component", "payload", "trace")):
+        return tuple(getattr(self, n) for n in _names)
+
+    def __setstate__(self, state: Any) -> None:
+        # Accept every pickle-state shape an Envelope has ever produced:
+        # - a plain dict (pre-slots frames, possibly without ``trace``),
+        # - a ``(dict_or_None, slots_dict)`` pair (default object protocol),
+        # - a list/tuple of field values (``__getstate__`` above).
+        setattr_ = object.__setattr__  # the class is frozen
+        if isinstance(state, tuple) and len(state) == 2 \
+                and isinstance(state[1], dict):
+            merged = dict(state[0] or {})
+            merged.update(state[1])
+            state = merged
+        if isinstance(state, dict):
+            setattr_(self, "trace", None)
+            for name, value in state.items():
+                setattr_(self, name, value)
+        else:
+            for name, value in zip(
+                    ("config_id", "component", "payload", "trace"), state):
+                setattr_(self, name, value)
 
     def wire_size(self) -> int:
         base = 6 + self.payload.wire_size()

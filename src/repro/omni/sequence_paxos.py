@@ -396,7 +396,7 @@ class SequencePaxos(Instrumented):
             entries = self._storage.get_entries(self._applied_idx, decided)
             out.extend(enumerate(entries, start=self._applied_idx))
             self._applied_idx = decided
-        if out and self._obs.enabled:
+        if out and self._obs_on:
             self._obs.counter("repro_decided_entries_total",
                               pid=self.pid).inc(len(out))
             if self._obs.tracing:
@@ -647,33 +647,42 @@ class SequencePaxos(Instrumented):
         ))
 
     def _append_and_replicate(self, entries: Sequence[Any]) -> None:
+        # The whole-batch replication hot path: one append, one AcceptDecide
+        # per synced peer. Lookups are hoisted out of the fan-out loop; the
+        # peer iteration order (set order) is part of the deterministic
+        # behaviour and must not change.
         entries, rejected = self._clip_at_stopsign(entries)
         self.stats.proposals_rejected += rejected
         if not entries:
             return
-        start_idx = self._storage.log_len()
+        storage = self._storage
+        start_idx = storage.log_len()
         self._append(entries)
-        self._las[self.pid] = self._storage.log_len()
+        log_len = storage.log_len()
+        self._las[self.pid] = log_len
         if self._obs.tracing:
-            end_idx = self._storage.log_len()
-            self._trace_fanout.append((end_idx, self._obs.now_ms()))
+            self._trace_fanout.append((log_len, self._obs.now_ms()))
             self._obs.emit(ProposalAppended(
-                pid=self.pid, from_idx=start_idx, to_idx=end_idx,
+                pid=self.pid, from_idx=start_idx, to_idx=log_len,
                 protocol="sp", trace_id=entry_trace_id(entries[0]),
             ))
-        decided_idx = self._storage.get_decided_idx()
+        decided_idx = storage.get_decided_idx()
         batch = tuple(entries)
+        round_ = self._current_round
+        accept_seq = self._accept_seq
+        session_of = self._accept_session.get
+        outbox = self._outbox
         for pid in self._synced_peers:
-            seq = self._accept_seq.get(pid, 0) + 1
-            self._accept_seq[pid] = seq
-            self._send(pid, AcceptDecide(
-                n=self._current_round,
+            seq = accept_seq.get(pid, 0) + 1
+            accept_seq[pid] = seq
+            outbox.append((pid, AcceptDecide(
+                n=round_,
                 entries=batch,
                 decided_idx=decided_idx,
                 seq=seq,
-                session=self._accept_session.get(pid, 1),
-            ))
-        self._maybe_decide(self._storage.log_len())
+                session=session_of(pid, 1),
+            )))
+        self._maybe_decide(log_len)
 
     def _on_accepted(self, src: int, msg: Accepted) -> None:
         if not self.is_leader or msg.n != self._current_round:
@@ -905,11 +914,15 @@ class SequencePaxos(Instrumented):
                 self._send(src, PrepareReq())
             return  # duplicates / stale messages are ignored either way
         self._expected_seq = msg.seq
+        storage = self._storage
         self._append(msg.entries)
-        if msg.decided_idx > self._storage.get_decided_idx():
-            self._storage.set_decided_idx(min(msg.decided_idx, self._storage.log_len()))
-        self._send(src, Accepted(n=msg.n, log_idx=self._storage.log_len(),
-                                 decided_idx=self._storage.get_decided_idx()))
+        log_len = storage.log_len()
+        decided = storage.get_decided_idx()
+        if msg.decided_idx > decided:
+            decided = min(msg.decided_idx, log_len)
+            storage.set_decided_idx(decided)
+        self._outbox.append((src, Accepted(n=msg.n, log_idx=log_len,
+                                           decided_idx=decided)))
 
     def _on_decide(self, src: int, msg: Decide) -> None:
         if msg.n != self._storage.get_promise() or self._phase is not Phase.ACCEPT:

@@ -45,6 +45,11 @@ class FrameDecoder:
                 return out
             (size,) = _LEN.unpack(self._buffer[:_LEN.size])
             if size > MAX_FRAME_BYTES:
+                # A corrupt length header means the rest of the buffer is
+                # unframeable garbage. Reset before raising so a caller that
+                # keeps the decoder (e.g. across a reconnect) starts clean
+                # instead of re-reading the poisoned prefix forever.
+                self._buffer.clear()
                 raise TransportError(f"frame length {size} exceeds maximum")
             if len(self._buffer) < _LEN.size + size:
                 return out

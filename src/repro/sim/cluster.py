@@ -238,10 +238,12 @@ class SimCluster:
         self._queue.schedule_in(self._tick_ms * self._tick_scale.get(pid, 1.0), tick)
 
     def _deliver(self, src: int, dst: int, msg: Any) -> None:
-        if dst not in self._replicas or dst in self._crashed:
+        # Hottest callback in the simulator: one call per delivered message.
+        replica = self._replicas.get(dst)
+        if replica is None or dst in self._crashed:
             return
         try:
-            self._replicas[dst].on_message(src, msg, self._queue.now)
+            replica.on_message(src, msg, self._queue.now)
         except StorageError:
             self._handle_storage_failure(dst)
             return
@@ -260,8 +262,11 @@ class SimCluster:
 
     def _flush(self, pid: int) -> None:
         replica = self._replicas[pid]
-        for dst, msg in replica.take_outbox():
-            self._network.send(pid, dst, msg)
+        outbox = replica.take_outbox()
+        if outbox:
+            send = self._network.send
+            for dst, msg in outbox:
+                send(pid, dst, msg)
         decided = replica.take_decided()
         if decided and self._decided_observers:
             now = self._queue.now

@@ -1,17 +1,40 @@
 """Event queue and virtual clock for the discrete-event simulator.
 
-Events are ``(time, seq, callback)`` triples in a binary heap. The ``seq``
-tie-breaker makes execution order deterministic when events share a
-timestamp, which in turn makes every experiment reproducible from its seed.
+Events are ``(time, seq, callback)`` triples ordered by ``(time, seq)``.
+The ``seq`` tie-breaker makes execution order deterministic when events
+share a timestamp, which in turn makes every experiment reproducible from
+its seed.
+
+This is the simulator's innermost loop, so the implementation is tuned:
+
+- the class is slotted and ``now`` / ``processed`` are plain attributes
+  (callbacks read ``queue.now`` constantly; a property here is measurable),
+- ``schedule`` / ``schedule_in`` avoid per-call allocations beyond the
+  heap entry itself (a plain int sequence counter, no ``itertools.count``),
+- ``run_until`` keeps the heap and the budget in locals and batches the
+  ``processed`` write-back around the drain loop,
+- draining a *large* backlog (>= :data:`_BULK_DRAIN_MIN` pending events)
+  switches to a sort-and-scan fast path: one ``list.sort`` replaces a
+  heappop cascade, and events scheduled by callbacks mid-drain go to a
+  side heap that is merged in ``(time, seq)`` order. Pop order is
+  bit-identical to the plain heap path.
+
+``run_until`` is not reentrant: callbacks may ``schedule`` freely but must
+not call ``run_until`` / ``run_for`` themselves.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ReproError
+
+#: Pending-event count at which ``run_until`` prefers one ``list.sort``
+#: over a cascade of heappops. Typical protocol runs keep far fewer events
+#: in flight and never take the bulk path; chaos preloads and message
+#: storms do.
+_BULK_DRAIN_MIN = 4096
 
 
 class SimulationLimitError(ReproError):
@@ -19,35 +42,43 @@ class SimulationLimitError(ReproError):
 
 
 class EventQueue:
-    """A deterministic discrete-event queue with a virtual millisecond clock."""
+    """A deterministic discrete-event queue with a virtual millisecond clock.
+
+    ``now`` (current virtual time in ms) and ``processed`` (events executed
+    so far) are read-only by convention: they are plain attributes for
+    speed, and only the queue itself should write them.
+    """
+
+    __slots__ = ("_heap", "_seq", "now", "processed", "_max_events")
 
     def __init__(self, max_events: Optional[int] = None):
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
-        self._seq = itertools.count()
-        self._now = 0.0
-        self._processed = 0
+        self._seq = 0
+        self.now = 0.0
+        self.processed = 0
         self._max_events = max_events
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in milliseconds."""
-        return self._now
-
-    @property
-    def processed(self) -> int:
-        """Number of events executed so far."""
-        return self._processed
 
     def __len__(self) -> int:
         return len(self._heap)
 
     def schedule(self, at: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at virtual time ``at`` (clamped to now)."""
-        heapq.heappush(self._heap, (max(at, self._now), next(self._seq), callback))
+        now = self.now
+        if at < now:
+            at = now
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (at, seq, callback))
 
     def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` after ``delay`` milliseconds."""
-        self.schedule(self._now + delay, callback)
+        now = self.now
+        at = now + delay
+        if at < now:
+            at = now
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (at, seq, callback))
 
     def run_until(self, until: float) -> None:
         """Execute events with timestamp <= ``until``; advance the clock.
@@ -55,17 +86,90 @@ class EventQueue:
         The clock lands exactly on ``until`` even if the queue drains early,
         so repeated calls tile time contiguously.
         """
-        while self._heap and self._heap[0][0] <= until:
-            when, _seq, callback = heapq.heappop(self._heap)
-            self._now = when
-            self._processed += 1
-            if self._max_events is not None and self._processed > self._max_events:
-                raise SimulationLimitError(
-                    f"exceeded event budget of {self._max_events}"
-                )
-            callback()
-        self._now = max(self._now, until)
+        heap = self._heap
+        if len(heap) >= _BULK_DRAIN_MIN:
+            self._run_bulk(until)
+            return
+        if heap and heap[0][0] <= until:
+            processed = self.processed
+            limit = self._max_events
+            try:
+                if limit is None:
+                    while heap and heap[0][0] <= until:
+                        at, _seq, callback = _heappop(heap)
+                        self.now = at
+                        processed += 1
+                        callback()
+                else:
+                    while heap and heap[0][0] <= until:
+                        at, _seq, callback = _heappop(heap)
+                        self.now = at
+                        processed += 1
+                        if processed > limit:
+                            raise SimulationLimitError(
+                                f"exceeded event budget of {limit}"
+                            )
+                        callback()
+            finally:
+                self.processed = processed
+        if self.now < until:
+            self.now = until
+
+    def _run_bulk(self, until: float) -> None:
+        """Sort-and-scan drain for large backlogs (see module docstring).
+
+        The pending list is sorted once (cheap in C, and adaptive when the
+        remainder of a previous bulk drain is already sorted) and consumed
+        by index; events scheduled by callbacks during the drain land in a
+        fresh side heap (``self._heap``) and are interleaved in exact
+        ``(time, seq)`` order. Whatever remains afterwards is restored as
+        a valid heap.
+        """
+        snapshot = self._heap
+        snapshot.sort()
+        side = self._heap = []
+        processed = self.processed
+        limit = self._max_events
+        i = 0
+        n = len(snapshot)
+        try:
+            while i < n:
+                item = snapshot[i]
+                at = item[0]
+                if at > until:
+                    break
+                while side and side[0] < item:
+                    s_at, _seq, callback = _heappop(side)
+                    self.now = s_at
+                    processed += 1
+                    if limit is not None and processed > limit:
+                        raise SimulationLimitError(
+                            f"exceeded event budget of {limit}"
+                        )
+                    callback()
+                i += 1
+                self.now = at
+                processed += 1
+                if limit is not None and processed > limit:
+                    raise SimulationLimitError(
+                        f"exceeded event budget of {limit}"
+                    )
+                item[2]()
+        finally:
+            self.processed = processed
+            if i < n:
+                rest = snapshot[i:]
+                if side:
+                    rest.extend(side)
+                    _heapify(rest)
+                self._heap = rest
+            else:
+                self._heap = side
+        # Side events <= until (scheduled mid-drain) may still be pending;
+        # recurse once over the restored heap to finish, and to land the
+        # clock on ``until``.
+        self.run_until(until)
 
     def run_for(self, duration: float) -> None:
         """Execute events for ``duration`` more virtual milliseconds."""
-        self.run_until(self._now + duration)
+        self.run_until(self.now + duration)

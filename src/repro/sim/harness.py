@@ -16,10 +16,11 @@ The supported protocol names are the evaluation's five configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.omni.entry import Command, entry_wire_size
 from repro.omni.reconfig import PARALLEL
 from repro.omni.server import ClusterConfig, OmniPaxosConfig, OmniPaxosServer
 from repro.omni.storage import InMemoryStorage, Storage
@@ -65,6 +66,10 @@ class ExperimentConfig:
     #: stays well under the election timeout when egress is finite, like
     #: real systems' max-message-size settings.
     max_batch_entries: Optional[int] = None
+    #: Representative log entry used to size bulk-replication batches when
+    #: ``max_batch_entries`` is derived; None means the workload's 8-byte
+    #: no-op command.
+    batch_sample_entry: Optional[Any] = None
     #: Omni-only hook: ``wrapper(pid, storage) -> storage`` applied to every
     #: freshly created backing store, letting fault injectors (e.g. the chaos
     #: engine's FaultyStorage) interpose on disk writes per server.
@@ -95,18 +100,35 @@ class ExperimentConfig:
         if self.max_batch_entries is not None:
             return self.max_batch_entries
         return derive_max_batch(self.egress_bytes_per_ms,
-                                self.election_timeout_ms)
+                                self.election_timeout_ms,
+                                self.batch_sample_entry)
+
+
+#: Default sizing sample for :func:`derive_max_batch`: the workload's
+#: 8-byte no-op command, which the codec sizes at 24 wire bytes.
+_DEFAULT_SAMPLE_ENTRY = Command(data=bytes(8))
 
 
 def derive_max_batch(egress_bytes_per_ms: Optional[float],
-                     election_timeout_ms: float) -> int:
+                     election_timeout_ms: float,
+                     sample_entry: Optional[object] = None) -> int:
     """Entries per bulk message such that one message transmits in ~5% of an
-    election timeout (24 wire bytes per 8-byte no-op entry) — the analogue
-    of real systems' max-message-size settings, which keep heartbeats from
-    starving behind bulk catch-up traffic."""
+    election timeout — the analogue of real systems' max-message-size
+    settings, which keep heartbeats from starving behind bulk catch-up
+    traffic.
+
+    Per-entry wire bytes come from the codec's own sizing
+    (:func:`~repro.omni.entry.entry_wire_size`) of ``sample_entry``; the
+    default sample is the workload's 8-byte no-op command (24 wire bytes).
+    Workloads with larger payloads should pass a representative entry so
+    the derived batch reflects their actual message sizes.
+    """
     if egress_bytes_per_ms is None:
         return 4096
-    batch = int(egress_bytes_per_ms * 0.05 * election_timeout_ms / 24)
+    if sample_entry is None:
+        sample_entry = _DEFAULT_SAMPLE_ENTRY
+    entry_bytes = max(entry_wire_size(sample_entry), 1)
+    batch = int(egress_bytes_per_ms * 0.05 * election_timeout_ms / entry_bytes)
     return max(min(batch, 4096), 16)
 
 
@@ -130,9 +152,14 @@ class Experiment:
         if proposal_timeout_ms is None:
             # Long enough that a single leader round trip never expires it,
             # short enough to re-route within an election timeout or two.
+            # The latency term must use the *slowest* effective link — under
+            # a WAN latency map the per-link overrides dwarf the base
+            # one_way_ms, and sizing from the base alone made clients time
+            # out and re-propose entries that were still in flight.
+            max_one_way = self.network.max_latency()
             proposal_timeout_ms = max(
                 2.0 * self.config.election_timeout_ms,
-                8.0 * self.config.one_way_ms + 4.0 * self.config.effective_tick_ms,
+                8.0 * max_one_way + 4.0 * self.config.effective_tick_ms,
             )
         params = WorkloadParams(
             client_id=client_id,

@@ -86,12 +86,21 @@ class SimNetwork(Instrumented):
         self._params = params
         self._rng = rng
         self._io = io_tracker
+        # Hot-path caches of the frozen params (attribute chains through a
+        # frozen dataclass are measurable at send rates).
+        self._default_latency = params.one_way_ms
+        self._jitter_ms = params.jitter_ms
+        self._egress = params.egress_bytes_per_ms
         #: Directed links explicitly taken down (ordered (src, dst) pairs);
         #: every other direction is up. Symmetric cuts add both directions;
         #: half-duplex failures (paper section 8) add just one.
         self._down: set = set()
         #: Per-link latency overrides (symmetric).
         self._latency: Dict[FrozenSet[int], float] = {}
+        #: Precomputed ordered-pair view of ``_latency`` so the send path
+        #: looks up overrides by the same ``(src, dst)`` tuple it already
+        #: builds for the FIFO clamp — no per-send frozenset allocation.
+        self._latency_by_pair: Dict[Tuple[int, int], float] = {}
         #: FIFO enforcement: last scheduled delivery per ordered pair.
         self._last_delivery: Dict[Tuple[int, int], float] = {}
         #: Egress serialization: when each sender's NIC becomes free.
@@ -188,13 +197,25 @@ class SimNetwork(Instrumented):
         if one_way_ms < 0:
             raise ConfigError("latency must be non-negative")
         self._latency[_link(a, b)] = one_way_ms
+        self._latency_by_pair[(a, b)] = one_way_ms
+        self._latency_by_pair[(b, a)] = one_way_ms
 
     def latency(self, a: int, b: int) -> float:
-        return self._latency.get(_link(a, b), self._params.one_way_ms)
+        return self._latency.get(_link(a, b), self._default_latency)
+
+    def max_latency(self) -> float:
+        """The largest effective one-way latency of any link (the default
+        when no override exceeds it). Timeout derivations use this so WAN
+        overrides are respected."""
+        if not self._latency:
+            return self._default_latency
+        return max(self._default_latency, max(self._latency.values()))
 
     def clear_latency(self, a: int, b: int) -> None:
         """Drop a per-link latency override (back to the default)."""
         self._latency.pop(_link(a, b), None)
+        self._latency_by_pair.pop((a, b), None)
+        self._latency_by_pair.pop((b, a), None)
 
     # -- link degradation (chaos knobs) -------------------------------------
 
@@ -243,61 +264,78 @@ class SimNetwork(Instrumented):
 
         Outgoing bytes are accounted at ``src`` even for dropped messages —
         the sender pays the IO either way, as on the real testbed.
+
+        This is the second-hottest loop in the simulator (after the event
+        queue), so the common case — link up, no loss/jitter/egress, obs
+        off — touches only the FIFO dict and the scheduler: wire size is
+        computed only for consumers that need it, latency comes from the
+        precomputed ordered-pair table, and the float arithmetic matches
+        the unoptimized path operation-for-operation so arrival times (and
+        therefore decided logs) are bit-identical.
         """
         self.messages_sent += 1
-        nbytes = wire_size(msg)
-        if self._io is not None:
-            self._io.record(src, nbytes, self._queue.now)
-        if self._obs.enabled:
-            payload = getattr(msg, "payload", msg)
-            self._obs.counter("repro_messages_sent_total", src=src,
-                              kind=type(payload).__name__).inc()
-            self._obs.counter("repro_bytes_sent_total", src=src).inc(nbytes)
-        if not self.is_up(src, dst):
+        queue = self._queue
+        egress = self._egress
+        if self._io is not None or egress is not None or self._obs_on:
+            nbytes = wire_size(msg)
+            if self._io is not None:
+                self._io.record(src, nbytes, queue.now)
+            if self._obs_on:
+                payload = getattr(msg, "payload", msg)
+                self._obs.counter("repro_messages_sent_total", src=src,
+                                  kind=type(payload).__name__).inc()
+                self._obs.counter("repro_bytes_sent_total",
+                                  src=src).inc(nbytes)
+        else:
+            nbytes = 0  # nobody consumes it on this path
+        key = (src, dst)
+        if key in self._down:
             self._drop(src, dst, msg, "link_down")
             return
-        if self._loss_rate > 0.0 and self._rng is not None \
-                and self._rng.random() < self._loss_rate:
+        rng = self._rng
+        if self._loss_rate > 0.0 and rng is not None \
+                and rng.random() < self._loss_rate:
             self._drop(src, dst, msg, "loss")
             return
-        send_done = self._queue.now
-        if self._params.egress_bytes_per_ms is not None:
+        now = queue.now
+        lat = self._latency_by_pair.get(key, self._default_latency)
+        send_done = now
+        if egress is not None:
             # The sender NIC serializes outgoing bytes: transmission starts
             # when the NIC is free and takes size/capacity milliseconds.
             start = max(send_done, self._egress_free_at.get(src, 0.0))
-            send_done = start + nbytes / self._params.egress_bytes_per_ms
+            send_done = start + nbytes / egress
             self._egress_free_at[src] = send_done
-        delay = send_done - self._queue.now + self.latency(src, dst)
-        if self._params.jitter_ms > 0.0 and self._rng is not None:
-            delay += self._rng.random() * self._params.jitter_ms
-        arrival = self._queue.now + delay
+        delay = send_done - now + lat
+        if self._jitter_ms > 0.0 and rng is not None:
+            delay += rng.random() * self._jitter_ms
+        arrival = now + delay
         # FIFO per ordered pair: never deliver before an earlier send.
-        key = (src, dst)
-        arrival = max(arrival, self._last_delivery.get(key, 0.0))
-        if self._reorder_rate > 0.0 and self._rng is not None \
-                and self._rng.random() < self._reorder_rate:
+        arrival2 = self._last_delivery.get(key, 0.0)
+        if arrival2 > arrival:
+            arrival = arrival2
+        if self._reorder_rate > 0.0 and rng is not None \
+                and rng.random() < self._reorder_rate:
             # Escape the FIFO clamp: delay this delivery without advancing
             # the clamp, so later sends can overtake it (bounded reorder).
             self.messages_reordered += 1
-            if self._obs.enabled:
+            if self._obs_on:
                 self._obs.counter("repro_messages_reordered_total",
                                   src=src).inc()
-            arrival += self._rng.random() * self._reorder_window_ms
+            arrival += rng.random() * self._reorder_window_ms
         else:
             self._last_delivery[key] = arrival
-        self._queue.schedule(arrival, lambda: self._try_deliver(src, dst, msg))
-        if self._duplicate_rate > 0.0 and self._rng is not None \
-                and self._rng.random() < self._duplicate_rate:
+        queue.schedule(arrival, lambda: self._try_deliver(src, dst, msg))
+        if self._duplicate_rate > 0.0 and rng is not None \
+                and rng.random() < self._duplicate_rate:
             # A stray retransmission: the copy trails the original by up to
             # one extra one-way latency and skips the FIFO clamp too.
             self.messages_duplicated += 1
-            if self._obs.enabled:
+            if self._obs_on:
                 self._obs.counter("repro_messages_duplicated_total",
                                   src=src).inc()
-            copy_at = arrival + self._rng.random() * max(
-                self.latency(src, dst), 0.1
-            )
-            self._queue.schedule(
+            copy_at = arrival + rng.random() * max(lat, 0.1)
+            queue.schedule(
                 copy_at, lambda: self._try_deliver(src, dst, msg)
             )
 

@@ -124,7 +124,7 @@ class ClosedLoopClient(Instrumented):
         if first is not None:
             self.latencies_ms.append(now - first)
         self.tracker.record(now)
-        if self._obs.enabled:
+        if self._obs_on:
             self._obs.counter("repro_client_replies_total",
                               client=self._params.client_id).inc()
             if first is not None:

@@ -60,17 +60,27 @@ class TestEnvelopeRoundTrip:
 class TestBackwardCompat:
     def test_pre_tracing_pickle_reads_none_trace(self):
         # An envelope pickled before the ``trace`` field existed carries no
-        # instance attribute for it; attribute lookup must fall back to the
-        # class-level default instead of raising.
+        # value for it in its state; ``__setstate__`` must default it to
+        # None instead of raising.
         env = Envelope(config_id=1, component="sp",
                        payload=HeartbeatRequest(round=4))
         state = {"config_id": 1, "component": "sp", "payload": env.payload}
-        old = object.__new__(Envelope)
-        old.__dict__.update(state)  # what pickle does with an old payload
+        old = Envelope.__new__(Envelope)
+        old.__setstate__(state)  # the dict state an old pickle carries
+        assert old.trace is None
         restored = pickle.loads(pickle.dumps(old))
-        assert "trace" not in restored.__dict__
         assert restored.trace is None
         assert restored.wire_size() == env.wire_size()
+
+    def test_legacy_two_part_state_loads(self):
+        # The default object protocol can also produce (dict, slots_dict)
+        # two-part states; both halves must be honoured.
+        env = Envelope.__new__(Envelope)
+        env.__setstate__(({"config_id": 3}, {"component": "sp",
+                          "payload": HeartbeatRequest(round=1)}))
+        assert env.config_id == 3
+        assert env.component == "sp"
+        assert env.trace is None
 
     def test_event_dict_without_trace_id_loads(self):
         # A pre-tracing JSON-lines export: ClientReplyDecided rows have no

@@ -49,6 +49,30 @@ class TestBatchDerivation:
         assert derive_max_batch(1e9, 1e9) == 4096
         assert derive_max_batch(0.001, 1.0) == 16
 
+    def test_sized_from_sample_entry_wire_size(self):
+        """The bytes-per-entry divisor comes from the codec's sizing of a
+        sample entry, not a hard-coded constant: a payload 10x the no-op's
+        shrinks the derived batch accordingly."""
+        from repro.omni.entry import Command
+
+        noop = Command(data=bytes(8))        # 24 wire bytes
+        big = Command(data=bytes(8 * 30))    # 256 wire bytes
+        assert derive_max_batch(100.0, 100.0, noop) == \
+            derive_max_batch(100.0, 100.0)
+        small = derive_max_batch(100.0, 100.0, big)
+        assert small < derive_max_batch(100.0, 100.0, noop)
+        assert small >= 16
+
+    def test_sample_entry_flows_through_config(self):
+        from repro.omni.entry import Command
+
+        base = ExperimentConfig(egress_bytes_per_ms=100.0,
+                                election_timeout_ms=100.0)
+        big = ExperimentConfig(egress_bytes_per_ms=100.0,
+                               election_timeout_ms=100.0,
+                               batch_sample_entry=Command(data=bytes(1000)))
+        assert big.effective_max_batch < base.effective_max_batch
+
 
 class TestFactory:
     @pytest.mark.parametrize("protocol,cls", [

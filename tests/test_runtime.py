@@ -50,6 +50,26 @@ class TestCodec:
         with pytest.raises(TransportError):
             decoder.feed(b"\xff\xff\xff\xff")
 
+    def test_oversized_length_resets_decoder(self):
+        """A corrupt length header must not poison the decoder: the buffer
+        is discarded along with the error, so the same decoder object can
+        resume on a fresh stream (e.g. after a reconnect) instead of
+        re-raising on the stale prefix forever."""
+        decoder = FrameDecoder()
+        with pytest.raises(TransportError):
+            decoder.feed(b"\xff\xff\xff\xff" + b"trailing garbage")
+        assert decoder.feed(encode_frame(1, "ok")) == [(1, "ok")]
+
+    def test_oversized_header_torn_across_reads(self):
+        """The corrupt header may itself arrive split across reads: no
+        error until it is complete, then the error fires once and the
+        decoder is clean again."""
+        decoder = FrameDecoder()
+        assert decoder.feed(b"\xff\xff") == []
+        with pytest.raises(TransportError):
+            decoder.feed(b"\xff\xff")
+        assert decoder.feed(encode_frame(2, "after")) == [(2, "after")]
+
 
 def _addr(pid, offset=0):
     return PeerAddress(pid, "127.0.0.1", BASE_PORT + offset + pid)

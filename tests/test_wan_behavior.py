@@ -57,6 +57,37 @@ class TestWanCommitLatency:
         assert client.decided_count > 0
 
 
+class TestWanProposalTimeout:
+    def test_default_timeout_sized_from_slowest_link(self):
+        """Regression: the client's default proposal timeout used to be
+        derived from the *base* ``one_way_ms`` (0.1 ms here) even when a
+        latency map put every real link at WAN distances. With a small
+        election timeout the derived value undershot a WAN round trip and
+        the client re-proposed entries that were still in flight."""
+        exp, _leader = build_wan(n=3, timeout=100.0)
+        client = exp.make_client(concurrent_proposals=1)
+        max_one_way = exp.network.max_latency()
+        assert max_one_way >= 125.0  # the cross-zone links of the WAN map
+        assert client._params.proposal_timeout_ms >= 8.0 * max_one_way
+
+    def test_lan_default_timeout_unchanged(self):
+        cfg = ExperimentConfig(num_servers=3, election_timeout_ms=100.0,
+                               initial_leader=1)
+        exp = build_experiment(cfg)
+        client = exp.make_client(concurrent_proposals=1)
+        assert client._params.proposal_timeout_ms == \
+            2.0 * cfg.election_timeout_ms
+
+    def test_no_spurious_reproposals_over_wan(self):
+        """A healthy WAN cluster must commit everything on first submission:
+        re-proposals mean the timeout is shorter than the commit path."""
+        exp, _leader = build_wan(n=3)
+        client = exp.make_client(concurrent_proposals=4)
+        exp.cluster.run_for(5_000)
+        assert client.decided_count > 0
+        assert client.reproposals == 0
+
+
 class TestWanElections:
     def test_election_succeeds_across_wan(self):
         """A leader crash in the WAN setting re-elects despite >100 ms RTTs
