@@ -33,13 +33,15 @@ from repro.errors import ConfigError, NotLeaderError
 from repro.obs.events import (
     BallotElected,
     EntryApplied,
+    HeartbeatViewReported,
     ProposalAppended,
     QuorumAccepted,
     RecoveryCompleted,
     RecoveryStarted,
     RoleChanged,
 )
-from repro.obs.registry import Instrumented
+from repro.obs.health import GrayFailureDetector
+from repro.obs.registry import Instrumented, MetricsRegistry
 from repro.obs.spans import entry_trace_id
 from repro.omni.entry import SnapshotInstalled, entry_wire_size
 from repro.replica import Replica
@@ -347,7 +349,19 @@ class RaftReplica(Replica, Instrumented):
         #: start of an open crash recovery (see repro.obs.spans).
         self._trace_fanout: List[Tuple[int, float]] = []
         self._trace_recovery: Optional[float] = None
+        # Health observatory: gray-failure scoring of peers, and the
+        # cadence of HeartbeatViewReported emissions (Raft has no
+        # heartbeat *rounds*, so views report on the heartbeat interval).
+        self._gray = GrayFailureDetector(
+            pid=config.pid,
+            expected_interval_ms=config.heartbeat_interval,
+        )
+        self._last_health_at: Optional[float] = None
+        self._health_round = 0
         self.stats = RaftStats()
+
+    def _on_observability(self, registry: MetricsRegistry) -> None:
+        self._gray.bind(registry)
 
     # ------------------------------------------------------------------
     # Replica interface: accessors
@@ -386,6 +400,75 @@ class RaftReplica(Replica, Instrumented):
     @property
     def log_len(self) -> int:
         return len(self._log)
+
+    @property
+    def gray_detector(self) -> GrayFailureDetector:
+        """This server's gray-failure detector (health observatory)."""
+        return self._gray
+
+    def _peers_heard(self, now_ms: float) -> Tuple[int, ...]:
+        """Peers heard within one election timeout.
+
+        A Raft leader hears every follower (AppendEntriesReply); a
+        follower only hears the leader — the matrix a Raft cluster can
+        assemble is inherently star-shaped, which is exactly the
+        comparison point against Omni-Paxos's all-pairs BLE rounds.
+        """
+        window = self._config.election_timeout_ms
+        if self._role is RaftRole.LEADER:
+            return tuple(sorted(
+                p for p, at in self._last_heard.items()
+                if p != self.pid and now_ms - at <= window
+            ))
+        leader = self._leader_id
+        if leader is not None and leader != self.pid \
+                and now_ms - self._last_leader_contact <= window:
+            return (leader,)
+        return ()
+
+    def _report_health(self, now_ms: float) -> None:
+        """Emit one :class:`HeartbeatViewReported` per heartbeat interval
+        (Raft has no heartbeat rounds; the interval is the closest
+        analogue). Only called with observability on."""
+        if self._last_health_at is not None \
+                and now_ms - self._last_health_at < self._config.heartbeat_interval:
+            return
+        self._last_health_at = now_ms
+        self._health_round += 1
+        heard = self._peers_heard(now_ms)
+        self._obs.emit(HeartbeatViewReported(
+            pid=self.pid,
+            round=self._health_round,
+            ballot=self._term,
+            leader=self.leader_pid if self.leader_pid is not None else 0,
+            quorum_connected=len(heard) + 1 > len(self.members) // 2,
+            connectivity=len(heard) + 1,
+            peers_heard=heard,
+            phase=self._role.value,
+            log_len=len(self._log),
+            decided_idx=self._commit_idx,
+        ))
+
+    def status(self) -> Dict[str, Any]:
+        """Admin introspection: this server's current health view (the
+        Raft analogue of ``OmniPaxosServer.status``)."""
+        now_ms = self._obs.now_ms() if self._obs.enabled else \
+            max(self._last_leader_contact, self._last_health_at or 0.0)
+        heard = self._peers_heard(now_ms)
+        return {
+            "pid": self.pid,
+            "protocol": "raft",
+            "phase": "crashed" if self._crashed else self._role.value,
+            "ballot": self._term,
+            "leader": self.leader_pid if self.leader_pid is not None else 0,
+            "quorum_connected": len(heard) + 1 > len(self.members) // 2,
+            "connectivity": len(heard) + 1,
+            "peers_heard": list(heard),
+            "hb_round": self._health_round,
+            "log_len": len(self._log),
+            "decided_idx": self._commit_idx,
+            "degraded": self._gray.snapshot(),
+        }
 
     # ------------------------------------------------------------------
     # Replica interface: driving
@@ -431,10 +514,16 @@ class RaftReplica(Replica, Instrumented):
                     self._start_prevote(now_ms)
                 else:
                     self._start_election(now_ms)
+        if self._obs_on:
+            self._report_health(now_ms)
 
     def on_message(self, src: int, msg: Any, now_ms: float) -> None:
         if self._crashed or not self._started:
             return
+        if self._obs_on and isinstance(msg, AppendEntries):
+            # The leader's timer fired: a beacon for the gray-failure
+            # detector's interval signal (mirrors BLE HeartbeatRequest).
+            self._gray.observe_beacon(src, now_ms)
         if isinstance(msg, RequestVote):
             self._on_request_vote(src, msg, now_ms)
         elif isinstance(msg, RequestVoteReply):

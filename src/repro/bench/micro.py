@@ -163,6 +163,88 @@ def bench_commit_loop(n_batches: int, batch_entries: int,
     return make_result("commit_loop", wall, out["decided"], out["counters"])
 
 
+def bench_obs_overhead(n_batches: int, batch_entries: int,
+                       seed: int = 0) -> Dict[str, Any]:
+    """The health observatory's cost: the commit loop off vs fully on.
+
+    Runs the same 3-server commit workload twice — once with the null
+    registry (the disabled path every production-off run takes) and once
+    with an enabled registry carrying the full health stack (connectivity
+    monitor + flight recorder sinks). The decided-log digests of the two
+    runs MUST be identical: observability is passive, so turning it on may
+    cost wall-clock but can never change what gets decided. ``ops`` counts
+    the enabled run's decided entries; the off/on wall times land in the
+    (non-deterministic) ``wall_off_s`` / ``wall_on_s`` fields so future
+    PRs can watch the enabled-path overhead trend.
+    """
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.health import HealthMonitor
+    from repro.obs.registry import MetricsRegistry
+
+    cfg = ExperimentConfig(protocol="omni", num_servers=3,
+                           election_timeout_ms=100.0, one_way_ms=0.1,
+                           seed=seed, initial_leader=1)
+
+    def drive(obs) -> Dict[str, Any]:
+        exp = build_experiment(cfg, obs=obs)
+        digest = LogDigest()
+        decided_at_leader = 0
+
+        def observer(pid: int, idx: int, entry: Any, now: float) -> None:
+            nonlocal decided_at_leader
+            digest.record(pid, idx, entry)
+            if pid == 1:
+                decided_at_leader += 1
+
+        exp.cluster.on_decided(observer)
+        exp.cluster.run_for(5 * cfg.election_timeout_ms)
+        payload = bytes(8)
+        seq = 0
+        for _ in range(n_batches):
+            batch = []
+            for _ in range(batch_entries):
+                batch.append(Command(data=payload, client_id=1, seq=seq))
+                seq += 1
+            exp.cluster.propose_batch(1, batch)
+            exp.cluster.run_for(1.0)
+        exp.cluster.run_for(50.0)
+        return {
+            "decided": decided_at_leader,
+            "digest": digest.hexdigest(),
+            "events_processed": exp.queue.processed,
+        }
+
+    off, wall_off = timed(lambda: drive(None))
+
+    registry = MetricsRegistry()
+    monitor = HealthMonitor()
+    recorder = FlightRecorder()
+    registry.add_sink(monitor)
+    registry.add_sink(recorder)
+    on, wall_on = timed(lambda: drive(registry))
+
+    counters = {
+        "decided_entries": on["decided"],
+        "decided_log_digest": on["digest"],
+        "digests_identical": off["digest"] == on["digest"],
+        "events_processed_off": off["events_processed"],
+        "events_processed_on": on["events_processed"],
+        "health_reporters": len(monitor.matrix.views),
+        "flight_retained": len(recorder),
+    }
+    ops = n_batches * batch_entries
+    return make_result(
+        "obs_overhead", wall_on, ops, counters,
+        extra={
+            "wall_off_s": round(wall_off, 6),
+            "wall_on_s": round(wall_on, 6),
+            "enabled_overhead_ratio": (
+                round(wall_on / wall_off, 3) if wall_off > 0 else 0.0
+            ),
+        },
+    )
+
+
 def bench_codec(n_frames: int, seed: int = 0) -> Dict[str, Any]:
     """Encode/decode round trips through the runtime framing codec.
 
@@ -210,6 +292,8 @@ def run_micro_suite(budget: Dict[str, Any], seed: int = 0,
         "commit_loop": lambda: bench_commit_loop(
             budget["commit_batches"], budget["commit_batch_entries"], seed),
         "codec": lambda: bench_codec(budget["codec_frames"], seed),
+        "obs_overhead": lambda: bench_obs_overhead(
+            budget["commit_batches"], budget["commit_batch_entries"], seed),
     }
     out: Dict[str, Dict[str, Any]] = {}
     for name, bench in benches.items():

@@ -28,6 +28,7 @@ from repro.chaos.checker import DecidedLogChecker, command_validator
 from repro.chaos.schedule import ChaosSchedule, FaultOp, describe_op
 from repro.errors import ReproError
 from repro.obs.events import NemesisInjected
+from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.omni.faults import FaultyStorage
 from repro.omni.invariants import (
@@ -368,12 +369,32 @@ def run_schedule(
     obs: Optional[MetricsRegistry] = None,
     cooldown_ms: Optional[float] = None,
     check_period_ms: Optional[float] = None,
+    flight_path: Optional[str] = None,
+    flight_capacity: int = DEFAULT_CAPACITY,
 ) -> ChaosResult:
     """Execute ``schedule`` and return its :class:`ChaosResult`.
 
     Pass an enabled :class:`MetricsRegistry` to capture nemesis events,
     protocol events, and counters for the run (the failure artifact).
+
+    Pass ``flight_path`` to attach a bounded
+    :class:`~repro.obs.flight.FlightRecorder` for the run; if any safety
+    check fails, the recorder's recent history (the last
+    ``flight_capacity`` events per server) is dumped there as a
+    ``repro-obs``-compatible JSON-lines file. When no registry is given,
+    an enabled one (with tracing) is created so the recorder sees the
+    full event stream.
     """
     registry = obs if obs is not None else NULL_REGISTRY
+    recorder: Optional[FlightRecorder] = None
+    if flight_path is not None:
+        if not registry.enabled:
+            registry = MetricsRegistry()
+            registry.enable_tracing()
+        recorder = FlightRecorder(capacity=flight_capacity)
+        registry.add_sink(recorder)
     run = _ChaosRun(schedule, registry, cooldown_ms, check_period_ms)
-    return run.run()
+    result = run.run()
+    if recorder is not None and not result.ok:
+        recorder.dump_jsonl(flight_path, registry)
+    return result

@@ -137,6 +137,54 @@ class SessionDropped(ProtocolEvent):
 
 
 @dataclass(frozen=True, **SLOTTED)
+class HeartbeatViewReported(ProtocolEvent):
+    """Server ``pid``'s view of the cluster after closing heartbeat round
+    ``round``: its ballot, believed leader, QC flag, connectivity count,
+    and exactly which peers replied (``peers_heard``), plus replication
+    progress (``log_len``/``decided_idx``). The health observatory
+    assembles these per-server views into the N×N quorum-connectivity
+    matrix; ``phase`` is the server's replication role at report time."""
+
+    kind: ClassVar[str] = "HeartbeatViewReported"
+    pid: int = 0
+    round: int = 0
+    ballot: int = 0
+    leader: int = 0
+    quorum_connected: bool = False
+    connectivity: int = 0
+    peers_heard: Tuple[int, ...] = ()
+    phase: str = "follower"
+    log_len: int = 0
+    decided_idx: int = 0
+
+
+@dataclass(frozen=True, **SLOTTED)
+class PeerDegraded(ProtocolEvent):
+    """Server ``pid``'s gray-failure detector scored ``peer`` as degraded:
+    still replying to heartbeats (so crash/partition detectors stay
+    silent) but slow — ``reason`` is ``"heartbeat_interval"`` (the peer's
+    own beacons arrive stretched) or ``"rtt"`` (per-link RTT EWMA blew
+    past its baseline). ``score`` is the observed/expected ratio."""
+
+    kind: ClassVar[str] = "PeerDegraded"
+    pid: int = 0
+    peer: int = 0
+    score: float = 0.0
+    reason: str = "heartbeat_interval"
+
+
+@dataclass(frozen=True, **SLOTTED)
+class PeerRecovered(ProtocolEvent):
+    """Server ``pid``'s gray-failure detector cleared the degraded flag on
+    ``peer`` (score back under the recovery threshold)."""
+
+    kind: ClassVar[str] = "PeerRecovered"
+    pid: int = 0
+    peer: int = 0
+    score: float = 0.0
+
+
+@dataclass(frozen=True, **SLOTTED)
 class ClientReplyDecided(ProtocolEvent):
     """The closed-loop client observed command ``seq`` decided. The stream
     of these events *is* the paper's throughput/down-time signal — the
@@ -260,6 +308,9 @@ EVENT_TYPES: Dict[str, Type[ProtocolEvent]] = {
         MigrationCompleted,
         MigrationSegmentReceived,
         SessionDropped,
+        HeartbeatViewReported,
+        PeerDegraded,
+        PeerRecovered,
         ClientReplyDecided,
         ProposalAppended,
         QuorumAccepted,

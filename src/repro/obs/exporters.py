@@ -125,11 +125,22 @@ def read_jsonl(
         lines = list(source)
     events: List[EventRecord] = []
     metrics: List[Dict[str, Any]] = []
-    for raw in lines:
+    for lineno, raw in enumerate(lines, start=1):
         raw = raw.strip()
         if not raw:
             continue
-        payload = json.loads(raw)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"line {lineno} is not valid JSON ({exc.msg}); "
+                "the export looks truncated or corrupt"
+            ) from None
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"line {lineno} is not a JSON object; "
+                "the export looks corrupt"
+            )
         tag = payload.pop("t", "event")
         if tag == "event":
             events.append(event_from_dict(payload))

@@ -1,0 +1,124 @@
+"""The always-on flight recorder: bounded ring buffers of recent events.
+
+Aviation flight recorders answer "what were the last things that happened
+before it went wrong?" without logging everything forever. This module is
+the same idea for a cluster run: a :class:`FlightRecorder` is a registry
+sink that keeps only the most recent events — one bounded lane per server
+pid plus one lane for events with no pid (client/nemesis) — so it can stay
+attached for arbitrarily long runs at O(capacity) memory.
+
+When something goes wrong (a chaos safety check fails, a runtime node's
+tick loop dies, an operator asks), :meth:`FlightRecorder.dump_jsonl`
+writes the merged recent history in the exact JSON-lines format of
+:class:`~repro.obs.exporters.JsonLinesSink`, so the existing ``repro-obs
+report`` / ``timeline`` / ``spans`` commands can replay the final moments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.obs.events import EventRecord
+from repro.obs.exporters import JsonLinesSink
+from repro.obs.registry import MetricsRegistry
+
+#: Default per-lane capacity: enough heartbeat rounds and commit-path
+#: events to reconstruct several seconds of a busy server's history.
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """A registry sink retaining the last ``capacity`` events per lane.
+
+    Events are laned by their ``pid`` field; events without one (client
+    replies, nemesis injections) share the ``None`` lane. Lanes are
+    bounded deques, so recording is O(1) and total memory is bounded by
+    ``capacity × (servers + 1)`` regardless of run length — the property
+    that makes it safe to leave on always.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ConfigError("flight recorder capacity must be positive")
+        self.capacity = capacity
+        self._lanes: Dict[Optional[int], Deque[EventRecord]] = {}
+        #: Total events ever recorded (including ones since evicted).
+        self.recorded = 0
+
+    # -- sink interface ----------------------------------------------------
+
+    def record(self, record: EventRecord) -> None:
+        pid = getattr(record.event, "pid", None)
+        lane = self._lanes.get(pid)
+        if lane is None:
+            lane = self._lanes[pid] = deque(maxlen=self.capacity)
+        lane.append(record)
+        self.recorded += 1
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    def lanes(self) -> List[Optional[int]]:
+        """Lane keys with retained events (pids plus ``None``), sorted."""
+        keys = [k for k in self._lanes if k is not None]
+        keys.sort()
+        return keys + ([None] if None in self._lanes else [])
+
+    def lane(self, pid: Optional[int]) -> List[EventRecord]:
+        """The retained events of one lane, oldest first."""
+        return list(self._lanes.get(pid, ()))
+
+    def dump(self) -> List[EventRecord]:
+        """All retained events merged across lanes, ordered by time.
+
+        The sort is stable on ``at_ms`` so same-tick events keep their
+        per-lane emission order.
+        """
+        merged: List[EventRecord] = []
+        for lane in self._lanes.values():
+            merged.extend(lane)
+        merged.sort(key=lambda r: r.at_ms)
+        return merged
+
+    def clear(self) -> None:
+        self._lanes.clear()
+
+    # -- dumping -----------------------------------------------------------
+
+    def dump_jsonl(self, path: str,
+                   registry: Optional[MetricsRegistry] = None) -> int:
+        """Write the retained history to ``path`` as a JSON-lines export.
+
+        The output is byte-compatible with a
+        :class:`~repro.obs.exporters.JsonLinesSink` capture (optionally
+        including a metrics snapshot of ``registry``), so ``repro-obs
+        report/timeline/spans <path>`` work on it directly. Returns the
+        number of event lines written.
+        """
+        records = self.dump()
+        sink = JsonLinesSink(path)
+        try:
+            for record in records:
+                sink.record(record)
+        finally:
+            sink.close(registry)
+        return len(records)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary (for the admin endpoint's ``flight`` verb)."""
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "retained": len(self),
+            "lanes": {
+                "global" if k is None else str(k): len(v)
+                for k, v in sorted(
+                    self._lanes.items(),
+                    key=lambda item: (item[0] is None, item[0] or 0),
+                )
+            },
+        }

@@ -1,0 +1,238 @@
+"""The ``repro-obs watch`` dashboard: the health observatory as ASCII.
+
+Renders a :class:`~repro.obs.health.HealthMonitor` snapshot — the N×N
+believed-connectivity matrix, a leader/ballot lane per server, replication
+lag bars, and the gray-failure verdicts — as a fixed-width text panel.
+Three entry points share the renderer:
+
+- :func:`render_dashboard` — one frame from a monitor (plus optional
+  ground truth, which marks matrix cells that *disagree* with the actual
+  link state with ``!`` and prints the disagreement count),
+- :func:`watch_export` — replay an exported ``.jsonl`` file into a
+  monitor and render the state as of ``--at-ms`` (post-mortem mode),
+- :func:`watch_demo` — run a short partitioned simulation live and render
+  before/during/after frames with ground truth, which is both the worked
+  example in the docs and the CI smoke (the during-partition frame must
+  show disagreements while stale views lag the netsplit).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.obs.events import EventRecord
+from repro.obs.health import (
+    GroundTruth,
+    HealthMonitor,
+    ground_truth_from_network,
+    matrix_disagreements,
+)
+from repro.obs.registry import MetricsRegistry
+
+#: Matrix cell glyphs: believed up / believed down / never reported.
+GLYPH_UP = "#"
+GLYPH_DOWN = "."
+GLYPH_UNKNOWN = "?"
+GLYPH_SELF = "\\"
+#: Appended to a cell whose belief contradicts ground truth.
+GLYPH_DISAGREE = "!"
+
+LAG_BAR_WIDTH = 20
+
+
+def _matrix_lines(monitor: HealthMonitor,
+                  truth: Optional[GroundTruth],
+                  now_ms: Optional[float]) -> List[str]:
+    matrix = monitor.matrix
+    pids = matrix.pids()
+    if truth is not None:
+        pids = tuple(sorted(set(pids) | {p for pair in truth for p in pair}))
+    if not pids:
+        return ["  (no heartbeat views reported yet)"]
+    lines = ["  connectivity matrix (rows report, cols are peers; "
+             f"{GLYPH_UP} up  {GLYPH_DOWN} down  {GLYPH_UNKNOWN} unknown"
+             + (f"  {GLYPH_DISAGREE} disagrees with ground truth" if truth
+                is not None else "") + ")"]
+    header = "       " + " ".join(f"{b:>3d}" for b in pids)
+    lines.append(header)
+    for a in pids:
+        cells = []
+        for b in pids:
+            if a == b:
+                cells.append(f"  {GLYPH_SELF} ")
+                continue
+            believed = matrix.believes_up(a, b)
+            glyph = (GLYPH_UNKNOWN if believed is None
+                     else GLYPH_UP if believed else GLYPH_DOWN)
+            mark = " "
+            if truth is not None and (a, b) in truth:
+                stale = now_ms is not None and matrix.is_stale(a, now_ms)
+                if not stale and (believed is None
+                                  or believed != truth[(a, b)]):
+                    mark = GLYPH_DISAGREE
+            cells.append(f"  {glyph}{mark}")
+        fresh = ""
+        if now_ms is not None:
+            age = matrix.freshness_ms(a, now_ms)
+            if age is not None:
+                fresh = f"   fresh {age:.0f}ms" + (
+                    " (stale)" if matrix.is_stale(a, now_ms) else "")
+        lines.append(f"  {a:>3d} " + "".join(cells) + fresh)
+    return lines
+
+
+def _server_lines(monitor: HealthMonitor) -> List[str]:
+    views = monitor.matrix.views
+    if not views:
+        return []
+    lines = ["  servers:"]
+    max_decided = max(v.decided_idx for v in views.values())
+    for pid, view in sorted(views.items()):
+        lag = max_decided - view.decided_idx
+        filled = LAG_BAR_WIDTH if max_decided == 0 else round(
+            LAG_BAR_WIDTH * view.decided_idx / max_decided)
+        bar = GLYPH_UP * filled + GLYPH_DOWN * (LAG_BAR_WIDTH - filled)
+        lines.append(
+            f"  {pid:>3d} {view.phase:<9s} leader={view.leader} "
+            f"ballot={view.ballot} qc={'+' if view.quorum_connected else '-'} "
+            f"round={view.round} "
+            f"decided [{bar}] {view.decided_idx}"
+            + (f" (lag {lag})" if lag else "")
+        )
+    return lines
+
+
+def _degraded_lines(monitor: HealthMonitor) -> List[str]:
+    pairs = monitor.degraded_pairs()
+    if not pairs:
+        return ["  degraded peers: none"]
+    lines = ["  degraded peers:"]
+    for observer, peer, state in pairs:
+        lines.append(
+            f"    {observer} sees {peer} degraded "
+            f"({state.reason}, score {state.score:g})"
+        )
+    return lines
+
+
+def render_dashboard(
+    monitor: HealthMonitor,
+    truth: Optional[GroundTruth] = None,
+    now_ms: Optional[float] = None,
+    title: str = "cluster health",
+) -> str:
+    """One dashboard frame from ``monitor``'s current snapshot."""
+    at = now_ms if now_ms is not None else monitor.last_at_ms
+    lines = [f"== {title} @ t={at:.0f}ms =="]
+    lines.extend(_matrix_lines(monitor, truth, now_ms))
+    lines.extend(_server_lines(monitor))
+    lines.extend(_degraded_lines(monitor))
+    if truth is not None:
+        disputes = matrix_disagreements(monitor.matrix, truth, now_ms)
+        lines.append(f"  disagreements={len(disputes)}")
+    return "\n".join(lines)
+
+
+def watch_export(
+    records: Sequence[EventRecord],
+    at_ms: Optional[float] = None,
+    stale_after_ms: Optional[float] = None,
+) -> str:
+    """Replay exported events and render the dashboard as of ``at_ms``
+    (default: the last event)."""
+    monitor = HealthMonitor(stale_after_ms=stale_after_ms)
+    replayed = 0
+    for record in records:
+        if at_ms is not None and record.at_ms > at_ms:
+            break
+        monitor.record(record)
+        replayed += 1
+    if not monitor.matrix.views:
+        raise ConfigError(
+            "no HeartbeatViewReported events in the export — was the run "
+            "captured with an enabled registry and this repo's health layer?"
+        )
+    return render_dashboard(monitor, now_ms=at_ms)
+
+
+#: Scenario name -> the paper partition it demonstrates.
+DEMO_SCENARIOS = ("quorum-loss", "constrained", "chained")
+
+
+def watch_demo(
+    scenario: str = "quorum-loss",
+    num_servers: int = 5,
+    election_timeout_ms: float = 100.0,
+    seed: int = 0,
+    out: Optional[io.TextIOBase] = None,
+) -> int:
+    """Run a short partitioned sim and print before/during/after frames.
+
+    Returns the number of matrix/ground-truth disagreements observed in
+    the *during-partition* frame taken immediately after the netsplit —
+    the believed matrix still claims the pre-partition links, so a healthy
+    health layer shows a non-zero count here (the CI smoke asserts it) and
+    zero again once heartbeat rounds quiesce.
+    """
+    from repro.sim import partitions
+    from repro.sim.harness import ExperimentConfig, build_experiment
+
+    if scenario not in DEMO_SCENARIOS:
+        raise ConfigError(
+            f"unknown scenario {scenario!r}; pick one of {DEMO_SCENARIOS}"
+        )
+    registry = MetricsRegistry()
+    monitor = HealthMonitor(stale_after_ms=20 * election_timeout_ms)
+    registry.add_sink(monitor)
+    exp = build_experiment(ExperimentConfig(
+        protocol="omni",
+        num_servers=num_servers,
+        election_timeout_ms=election_timeout_ms,
+        seed=seed,
+        initial_leader=1,
+    ), obs=registry)
+    cluster = exp.cluster
+    pids = list(cluster.pids)
+
+    def emit(frame: str) -> None:
+        if out is not None:
+            out.write(frame + "\n\n")
+
+    settle_ms = 20 * election_timeout_ms
+    cluster.run_for(settle_ms)
+    truth = ground_truth_from_network(exp.network, pids)
+    emit(render_dashboard(monitor, truth, cluster.now,
+                          title=f"{scenario}: before partition"))
+
+    pivot = pids[-1]
+    if scenario == "quorum-loss":
+        partitions.quorum_loss(cluster, pivot=pivot)
+    elif scenario == "constrained":
+        partitions.constrained_election(cluster, pivot=pivot, leader=1)
+    else:
+        partitions.chained(cluster, order=pids)
+    # One tick of sim time: the netsplit is live but no heartbeat round
+    # has closed, so beliefs still describe the healed network.
+    cluster.run_for(exp.config.effective_tick_ms)
+    truth = ground_truth_from_network(exp.network, pids)
+    during = render_dashboard(monitor, truth, cluster.now,
+                              title=f"{scenario}: just after partition")
+    emit(during)
+    disagreements = len(
+        matrix_disagreements(monitor.matrix, truth, cluster.now))
+
+    cluster.run_for(settle_ms)
+    truth = ground_truth_from_network(exp.network, pids)
+    emit(render_dashboard(monitor, truth, cluster.now,
+                          title=f"{scenario}: partition quiesced"))
+
+    partitions.heal(cluster)
+    cluster.run_for(settle_ms)
+    truth = ground_truth_from_network(exp.network, pids)
+    emit(render_dashboard(monitor, truth, cluster.now,
+                          title=f"{scenario}: healed"))
+    if out is not None:
+        out.write(f"partition-disagreements={disagreements}\n")
+    return disagreements

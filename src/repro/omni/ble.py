@@ -109,6 +109,16 @@ class BallotLeaderElection(Instrumented):
         self._leader: Optional[Ballot] = initial_leader
         self._hb_round = 0
         self._last_connectivity = 0
+        #: Health telemetry: peers whose reply made it into the last
+        #: *closed* round, their request->reply RTTs (only for replies
+        #: delivered with a timestamp), and how late that round closed
+        #: relative to the nominal period.
+        self._last_heard: Tuple[int, ...] = ()
+        self._round_rtts: Dict[int, float] = {}
+        self._last_round_rtts: Dict[int, float] = {}
+        self._round_started_at: Optional[float] = None
+        self._last_close_at: Optional[float] = None
+        self._last_round_jitter_ms: Optional[float] = None
         #: When we last observed replies from a majority (read-lease basis).
         self._last_quorum_at: Optional[float] = None
         self._now = 0.0
@@ -148,6 +158,41 @@ class BallotLeaderElection(Instrumented):
         """Whether this server was QC in the most recent completed round."""
         return self._quorum_connected
 
+    @property
+    def last_heard(self) -> Tuple[int, ...]:
+        """Peers whose reply arrived within the last closed round, sorted.
+
+        This is the row this server contributes to the health observatory's
+        quorum-connectivity matrix: a peer appears exactly when both link
+        directions worked within one heartbeat round."""
+        return self._last_heard
+
+    @property
+    def last_connectivity(self) -> int:
+        """Connectivity (peers heard + self) of the last closed round."""
+        return self._last_connectivity
+
+    @property
+    def hb_round(self) -> int:
+        """The current heartbeat round number."""
+        return self._hb_round
+
+    @property
+    def last_round_rtts(self) -> Dict[int, float]:
+        """Request->reply RTT per peer for the last closed round (ms).
+
+        Only populated for replies delivered through the timestamped
+        :meth:`on_message` form; a copy, safe to hold."""
+        return dict(self._last_round_rtts)
+
+    @property
+    def last_round_jitter_ms(self) -> Optional[float]:
+        """|actual - nominal| interval between the last two round closes,
+        or None before two rounds have closed. Tick-grained scheduling lag
+        shows up here — the heartbeat-round jitter signal the gray-failure
+        detector consumes."""
+        return self._last_round_jitter_ms
+
     # -- driving ------------------------------------------------------------
 
     def start(self, now_ms: float) -> None:
@@ -173,14 +218,22 @@ class BallotLeaderElection(Instrumented):
             return False
         return now_ms - self._last_quorum_at <= window_ms
 
-    def on_message(self, src: int, msg: Any) -> None:
-        """Handle a heartbeat request or reply from peer ``src``."""
+    def on_message(self, src: int, msg: Any,
+                   now_ms: Optional[float] = None) -> None:
+        """Handle a heartbeat request or reply from peer ``src``.
+
+        ``now_ms`` is optional (protocol behaviour never depends on it);
+        when given, current-round replies additionally yield a per-peer
+        request->reply RTT sample for the gray-failure detector.
+        """
         if isinstance(msg, HeartbeatRequest):
             flag = self._quorum_connected if self._config.use_qc_flag else True
             self._send(src, HeartbeatReply(msg.round, self._current_ballot, flag))
         elif isinstance(msg, HeartbeatReply):
             if msg.round == self._hb_round:
                 self._ballots.append((msg.ballot, msg.quorum_connected))
+                if now_ms is not None and self._round_started_at is not None:
+                    self._round_rtts[src] = now_ms - self._round_started_at
             # Late replies from older rounds are simply ignored (paper: "A
             # late heartbeat is simply ignored and does not affect
             # correctness").
@@ -203,12 +256,29 @@ class BallotLeaderElection(Instrumented):
     def _start_round(self, now_ms: float) -> None:
         self._hb_round += 1
         self._next_timeout = now_ms + self._config.hb_period_ms
+        self._round_started_at = now_ms
         for peer in self._config.peers:
             self._send(peer, HeartbeatRequest(self._hb_round))
 
     def _hb_timeout(self) -> None:
         """Close the current round: evaluate replies and maybe elect."""
         self.stats.rounds += 1
+        # Capture the health view before the election logic consumes the
+        # reply list (check_leader appends our own ballot and clears it).
+        self._last_heard = tuple(sorted(
+            ballot.pid for (ballot, _qc) in self._ballots
+        ))
+        self._last_round_rtts = self._round_rtts
+        self._round_rtts = {}
+        if self._last_close_at is not None:
+            self._last_round_jitter_ms = abs(
+                (self._now - self._last_close_at) - self._config.hb_period_ms
+            )
+            if self._obs.enabled:
+                self._obs.gauge(
+                    "repro_heartbeat_round_jitter_ms", pid=self.pid
+                ).set(self._last_round_jitter_ms)
+        self._last_close_at = self._now
         self._last_connectivity = len(self._ballots) + 1
         was_qc = self._quorum_connected
         if len(self._ballots) + 1 >= self._config.majority:

@@ -30,12 +30,14 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError, NotLeaderError
 from repro.obs.events import (
+    HeartbeatViewReported,
     MigrationCompleted,
     MigrationDonorPicked,
     MigrationSegmentReceived,
     SessionDropped,
     StopSignDecided,
 )
+from repro.obs.health import GrayFailureDetector
 from repro.obs.registry import Instrumented, MetricsRegistry
 from repro.obs.spans import TraceContext, entry_trace_id
 from repro.omni.ballot import Ballot
@@ -46,6 +48,7 @@ from repro.omni.messages import (
     COMPONENT_SERVICE,
     COMPONENT_SP,
     Envelope,
+    HeartbeatRequest,
     JoinComplete,
     LogPullRequest,
     LogSegment,
@@ -171,9 +174,18 @@ class OmniPaxosServer(Replica, Instrumented):
         self._started = False
         self._crashed = False
         self._migration_started_ms: Optional[float] = None
+        #: Gray-failure detector over this server's peers; fed from
+        #: heartbeat-beacon arrivals and BLE per-round RTTs (obs-on only).
+        self._gray = GrayFailureDetector(
+            pid=config.pid, expected_interval_ms=config.hb_period_ms
+        )
+        #: Last heartbeat round reported per config id (health views are
+        #: emitted once per closed round, not once per tick).
+        self._reported_round: Dict[int, int] = {}
         self.stats = ServerStats()
 
     def _on_observability(self, registry: MetricsRegistry) -> None:
+        self._gray.bind(registry)
         # Instances may predate the wiring call; propagate to all of them.
         for inst in self._instances.values():
             inst.sp.set_observability(registry)
@@ -238,6 +250,72 @@ class OmniPaxosServer(Replica, Instrumented):
         inst = self._current_instance()
         return inst.sp if inst is not None else None
 
+    @property
+    def gray_detector(self) -> GrayFailureDetector:
+        """This server's gray-failure detector (health observatory)."""
+        return self._gray
+
+    def status(self) -> Dict[str, Any]:
+        """Admin introspection: this server's current health view.
+
+        JSON-safe and cheap — safe to call from the sim harness, the
+        runtime admin endpoint, or a test at any time, observability on or
+        off (the connectivity fields only populate once heartbeat rounds
+        close; the ``degraded`` map only when the obs layer feeds the
+        gray-failure detector).
+        """
+        inst = self._current_instance()
+        ble = inst.ble if inst is not None and inst.active else None
+        sp = inst.sp if inst is not None else None
+        leader = self.leader_pid
+        return {
+            "pid": self.pid,
+            "protocol": "omni",
+            "phase": ("crashed" if self._crashed
+                      else "leader" if self.is_leader
+                      else "migrating" if self.migrating
+                      else "follower"),
+            "config_id": inst.cluster.config_id if inst is not None else None,
+            "ballot": ble.current_ballot.n if ble is not None else 0,
+            "leader": leader if leader is not None else 0,
+            "quorum_connected": (
+                ble.quorum_connected if ble is not None else False
+            ),
+            "connectivity": ble.last_connectivity if ble is not None else 0,
+            "peers_heard": list(ble.last_heard) if ble is not None else [],
+            "hb_round": ble.hb_round if ble is not None else 0,
+            "log_len": sp.log_len if sp is not None else 0,
+            "decided_idx": len(self._global_log),
+            "migrating": self.migrating,
+            "degraded": self._gray.snapshot(),
+        }
+
+    def _report_health(self, inst: _Instance) -> None:
+        """Emit one :class:`HeartbeatViewReported` per closed BLE round and
+        feed the round's RTT samples to the gray-failure detector. Only
+        called with observability on."""
+        ble = inst.ble
+        rounds = ble.stats.rounds
+        cid = inst.cluster.config_id
+        if self._reported_round.get(cid) == rounds or rounds == 0:
+            return
+        self._reported_round[cid] = rounds
+        for peer, rtt in ble.last_round_rtts.items():
+            self._gray.observe_rtt(peer, rtt)
+        leader = ble.leader
+        self._obs.emit(HeartbeatViewReported(
+            pid=self.pid,
+            round=ble.hb_round,
+            ballot=ble.current_ballot.n,
+            leader=leader.pid if leader is not None else 0,
+            quorum_connected=ble.quorum_connected,
+            connectivity=ble.last_connectivity,
+            peers_heard=ble.last_heard,
+            phase="leader" if self.is_leader else "follower",
+            log_len=inst.sp.log_len,
+            decided_idx=len(self._global_log),
+        ))
+
     # ------------------------------------------------------------------
     # Replica interface: driving
     # ------------------------------------------------------------------
@@ -259,6 +337,8 @@ class OmniPaxosServer(Replica, Instrumented):
         if inst is not None and inst.active:
             inst.ble.tick(now_ms)
             inst.sp.tick(now_ms)
+            if self._obs_on:
+                self._report_health(inst)
         if self._migration is not None:
             self._migration.tick(now_ms)
             self._drain_migration(now_ms)
@@ -300,7 +380,12 @@ class OmniPaxosServer(Replica, Instrumented):
                     self.stats.dropped_cross_config += 1
                 elif msg.component == COMPONENT_BLE:
                     if inst.active:
-                        inst.ble.on_message(src, msg.payload)
+                        if self._obs_on and isinstance(msg.payload,
+                                                       HeartbeatRequest):
+                            # The peer's own timer fired: a beacon for the
+                            # gray-failure detector's interval signal.
+                            self._gray.observe_beacon(src, now_ms)
+                        inst.ble.on_message(src, msg.payload, now_ms)
                 elif msg.component == COMPONENT_SP:
                     inst.sp.on_message(src, msg.payload)
             self._pump()

@@ -18,7 +18,7 @@ The contract is sans-io and pull-based:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 class Replica(ABC):
@@ -81,6 +81,22 @@ class Replica(ABC):
     @abstractmethod
     def take_decided(self) -> List[Tuple[int, Any]]:
         """Drain newly decided ``(global_index, entry)`` pairs."""
+
+    # -- introspection (optional override) ---------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """A JSON-safe snapshot of this replica's health view.
+
+        The admin endpoint and the sim harness surface this verbatim;
+        protocols override it to add their connectivity/ballot view. The
+        default reports only the interface-level facts.
+        """
+        return {
+            "pid": self.pid,
+            "protocol": type(self).__name__,
+            "phase": "leader" if self.is_leader else "follower",
+            "leader": self.leader_pid if self.leader_pid is not None else 0,
+        }
 
     # -- failure handling (optional overrides) -----------------------------
 

@@ -5,13 +5,32 @@ pumps ticks on a real-time interval, and exposes an asyncio-friendly
 ``propose`` plus a decided-entry callback. All timestamps handed to the
 replica are milliseconds from ``loop.time()``, so protocol timeouts behave
 exactly as configured.
+
+Two health-observatory surfaces (both opt-in):
+
+- ``admin`` — a line-delimited JSON admin endpoint: each request line is
+  ``{"cmd": "status" | "metrics" | "flight", ...}`` (or a bare verb
+  string), each response one JSON line. ``status`` returns the replica's
+  :meth:`~repro.replica.Replica.status` view plus transport facts;
+  ``flight`` with a ``path`` dumps the flight recorder to disk.
+- ``ping_interval_ms`` — transport RTT probing; samples land in the
+  ``repro_link_rtt_ms`` histogram and feed the replica's gray-failure
+  detector when it has one.
+
+With an enabled registry the node also keeps an always-on
+:class:`~repro.obs.flight.FlightRecorder`; if the tick loop dies with an
+unexpected exception the recorder dumps the final moments to
+``flight_dump_path`` before the error propagates.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs.exporters import metrics_snapshot
+from repro.obs.flight import FlightRecorder
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.replica import Replica
 from repro.runtime.transport import PeerAddress, TcpMesh
@@ -30,6 +49,10 @@ class RuntimeNode:
         tick_ms: float = 10.0,
         on_decided: Optional[DecidedHandler] = None,
         obs: Optional[MetricsRegistry] = None,
+        admin: Optional[Tuple[str, int]] = None,
+        ping_interval_ms: Optional[float] = None,
+        flight_capacity: int = 512,
+        flight_dump_path: Optional[str] = None,
     ):
         self._replica = replica
         self._tick_s = tick_ms / 1000.0
@@ -41,11 +64,20 @@ class RuntimeNode:
             peers=peers,
             on_message=self._handle_message,
             on_session_restored=self._handle_session_restored,
+            ping_interval_ms=ping_interval_ms,
+            on_rtt=self._handle_rtt,
         )
         self._mesh.set_observability(self._obs)
         setter = getattr(replica, "set_observability", None)
         if setter is not None:
             setter(self._obs)
+        self._admin_addr = admin
+        self._admin_server: Optional[asyncio.AbstractServer] = None
+        self._flight_dump_path = flight_dump_path
+        self.flight: Optional[FlightRecorder] = None
+        if self._obs.enabled:
+            self.flight = FlightRecorder(capacity=flight_capacity)
+            self._obs.add_sink(self.flight)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._tick_task: Optional[asyncio.Task] = None
         self._running = False
@@ -68,6 +100,14 @@ class RuntimeNode:
     def leader_pid(self) -> Optional[int]:
         return self._replica.leader_pid
 
+    @property
+    def admin_address(self) -> Optional[Tuple[str, int]]:
+        """The bound admin endpoint ``(host, port)``, once started."""
+        if self._admin_server is None or not self._admin_server.sockets:
+            return None
+        host, port = self._admin_server.sockets[0].getsockname()[:2]
+        return host, port
+
     def _now_ms(self) -> float:
         assert self._loop is not None
         return self._loop.time() * 1000.0
@@ -75,7 +115,7 @@ class RuntimeNode:
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
-        """Start transport and the tick pump."""
+        """Start transport, the tick pump, and the admin endpoint."""
         if self._running:
             return
         self._running = True
@@ -84,6 +124,10 @@ class RuntimeNode:
         # runtime event timestamps are comparable to the replica's `now_ms`.
         self._obs.set_clock(self._now_ms)
         await self._mesh.start()
+        if self._admin_addr is not None:
+            self._admin_server = await asyncio.start_server(
+                self._handle_admin, self._admin_addr[0], self._admin_addr[1]
+            )
         self._replica.start(self._now_ms())
         self._flush()
         self._tick_task = asyncio.ensure_future(self._tick_loop())
@@ -92,6 +136,9 @@ class RuntimeNode:
         self._running = False
         if self._tick_task is not None:
             self._tick_task.cancel()
+        if self._admin_server is not None:
+            self._admin_server.close()
+            await self._admin_server.wait_closed()
         await self._mesh.close()
 
     def propose(self, entry: Any) -> None:
@@ -105,11 +152,44 @@ class RuntimeNode:
 
     # ------------------------------------------------------------------
 
+    def status(self) -> Dict[str, Any]:
+        """The replica's health view plus this node's transport facts."""
+        status = self._replica.status()
+        status["connected_peers"] = list(self._mesh.connected_peers)
+        status["link_rtt_ms"] = {
+            str(peer): round(rtt, 3)
+            for peer, rtt in sorted(self._mesh.link_rtt_ms.items())
+        }
+        if self.flight is not None:
+            status["flight"] = self.flight.as_dict()
+        return status
+
+    def dump_flight(self, path: str) -> int:
+        """Write the flight recorder's retained history to ``path``;
+        returns the number of event lines (0 with observability off)."""
+        if self.flight is None:
+            return 0
+        return self.flight.dump_jsonl(path, self._obs)
+
+    # ------------------------------------------------------------------
+
     async def _tick_loop(self) -> None:
-        while self._running:
-            await asyncio.sleep(self._tick_s)
-            self._replica.tick(self._now_ms())
-            self._flush()
+        try:
+            while self._running:
+                await asyncio.sleep(self._tick_s)
+                self._replica.tick(self._now_ms())
+                self._flush()
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            # The node is about to die unexpectedly: preserve the final
+            # moments for post-mortem before the exception propagates.
+            if self.flight is not None and self._flight_dump_path is not None:
+                try:
+                    self.dump_flight(self._flight_dump_path)
+                except OSError:
+                    pass
+            raise
 
     def _handle_message(self, src: int, payload: Any) -> None:
         self._replica.on_message(src, payload, self._now_ms())
@@ -118,6 +198,11 @@ class RuntimeNode:
     def _handle_session_restored(self, peer: int) -> None:
         self._replica.on_session_drop(peer, self._now_ms())
         self._flush()
+
+    def _handle_rtt(self, peer: int, rtt_ms: float) -> None:
+        detector = getattr(self._replica, "gray_detector", None)
+        if detector is not None:
+            detector.observe_rtt(peer, rtt_ms)
 
     def _flush(self) -> None:
         for dst, msg in self._replica.take_outbox():
@@ -128,3 +213,65 @@ class RuntimeNode:
             return
         for idx, entry in self._replica.take_decided():
             self._on_decided(idx, entry)
+
+    # -- admin endpoint ------------------------------------------------------
+
+    def _admin_response(self, request: Any) -> Dict[str, Any]:
+        if isinstance(request, str):
+            request = {"cmd": request}
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        cmd = request.get("cmd", "status")
+        if cmd == "status":
+            return {"ok": True, "status": self.status()}
+        if cmd == "metrics":
+            return {"ok": True, "metrics": metrics_snapshot(self._obs)}
+        if cmd == "flight":
+            if self.flight is None:
+                return {"ok": False,
+                        "error": "flight recorder off (observability "
+                                 "disabled on this node)"}
+            path = request.get("path")
+            if path is not None:
+                try:
+                    written = self.dump_flight(path)
+                except OSError as exc:
+                    return {"ok": False, "error": f"cannot write {path}: {exc}"}
+                return {"ok": True, "path": path, "events_written": written}
+            return {"ok": True, "flight": self.flight.as_dict()}
+        return {"ok": False,
+                "error": f"unknown command {cmd!r}; "
+                         "try status, metrics, or flight"}
+
+    async def _handle_admin(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        try:
+            while not self._closed_admin():
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                if text.isalpha():
+                    # Bare-verb shorthand: `status` over netcat, no quotes.
+                    response = self._admin_response(text)
+                else:
+                    try:
+                        request = json.loads(text)
+                    except json.JSONDecodeError:
+                        response = {"ok": False,
+                                    "error": "invalid JSON request"}
+                    else:
+                        response = self._admin_response(request)
+                writer.write(
+                    (json.dumps(response, sort_keys=True) + "\n").encode()
+                )
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    def _closed_admin(self) -> bool:
+        return not self._running

@@ -46,6 +46,22 @@ class PeerAddress:
     port: int
 
 
+@dataclass(frozen=True)
+class TransportPing:
+    """Transport-level RTT probe; answered in :meth:`_handle_inbound`,
+    never surfaced to the replica. ``sent_ms`` is the sender's event-loop
+    clock, echoed back so only the sender's clock is involved."""
+
+    sent_ms: float
+
+
+@dataclass(frozen=True)
+class TransportPong:
+    """Echo of a :class:`TransportPing` carrying the original send time."""
+
+    sent_ms: float
+
+
 class TcpMesh(Instrumented):
     """The full-mesh TCP transport of one server."""
 
@@ -59,6 +75,8 @@ class TcpMesh(Instrumented):
         reconnect_initial_ms: float = 50.0,
         reconnect_max_ms: float = 2_000.0,
         rng: Optional[random.Random] = None,
+        ping_interval_ms: Optional[float] = None,
+        on_rtt: Optional[Callable[[int, float], None]] = None,
     ):
         if listen.pid != pid:
             raise TransportError("listen address pid mismatch")
@@ -73,6 +91,13 @@ class TcpMesh(Instrumented):
         #: the pid by default so each server draws an independent stream.
         self._rng = rng if rng is not None else random.Random(pid)
         self.reconnect_attempts = 0
+        self._ping_interval = (
+            None if ping_interval_ms is None else ping_interval_ms / 1000.0
+        )
+        self._on_rtt = on_rtt
+        #: Latest measured round trip per peer (ms), ping-loop sampled.
+        self.link_rtt_ms: Dict[int, float] = {}
+        self._ping_task: Optional[asyncio.Task] = None
         self._writers: Dict[int, asyncio.StreamWriter] = {}
         self._dial_tasks: Dict[int, asyncio.Task] = {}
         self._server: Optional[asyncio.AbstractServer] = None
@@ -89,9 +114,13 @@ class TcpMesh(Instrumented):
         )
         for pid in self._peers:
             self._dial_tasks[pid] = asyncio.ensure_future(self._dial_loop(pid))
+        if self._ping_interval is not None:
+            self._ping_task = asyncio.ensure_future(self._ping_loop())
 
     async def close(self) -> None:
         self._closed = True
+        if self._ping_task is not None:
+            self._ping_task.cancel()
         for task in self._dial_tasks.values():
             task.cancel()
         for writer in self._writers.values():
@@ -144,7 +173,12 @@ class TcpMesh(Instrumented):
                 if not data:
                     break
                 for src, payload in decoder.feed(data):
-                    self._on_message(src, payload)
+                    if isinstance(payload, TransportPing):
+                        self._answer_ping(src, payload)
+                    elif isinstance(payload, TransportPong):
+                        self._record_rtt(src, payload)
+                    else:
+                        self._on_message(src, payload)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
@@ -152,6 +186,43 @@ class TcpMesh(Instrumented):
             pass
         finally:
             writer.close()
+
+    # -- RTT sampling --------------------------------------------------------
+
+    def _answer_ping(self, src: int, ping: TransportPing) -> None:
+        """Echo the probe back over our outbound connection to ``src``
+        (bypassing :meth:`send` so probes stay out of message counters)."""
+        peer_writer = self._writers.get(src)
+        if peer_writer is None:
+            return
+        try:
+            peer_writer.write(encode_frame(self._pid, TransportPong(ping.sent_ms)))
+        except (ConnectionError, RuntimeError):
+            self._writers.pop(src, None)
+
+    def _record_rtt(self, src: int, pong: TransportPong) -> None:
+        rtt_ms = asyncio.get_event_loop().time() * 1000.0 - pong.sent_ms
+        self.link_rtt_ms[src] = rtt_ms
+        if self._obs.enabled:
+            self._obs.histogram("repro_link_rtt_ms", src=self._pid,
+                                dst=src).observe(rtt_ms)
+        if self._on_rtt is not None:
+            self._on_rtt(src, rtt_ms)
+
+    async def _ping_loop(self) -> None:
+        """Probe every connected peer each interval; pongs arrive on the
+        inbound path and land in :attr:`link_rtt_ms`."""
+        try:
+            while not self._closed:
+                await asyncio.sleep(self._ping_interval)
+                now_ms = asyncio.get_event_loop().time() * 1000.0
+                for pid, writer in list(self._writers.items()):
+                    try:
+                        writer.write(encode_frame(self._pid, TransportPing(now_ms)))
+                    except (ConnectionError, RuntimeError):
+                        self._writers.pop(pid, None)
+        except asyncio.CancelledError:
+            pass
 
     async def _dial_loop(self, pid: int) -> None:
         """Keep one outbound connection to ``pid`` alive, with backoff."""

@@ -172,6 +172,48 @@ class Experiment:
         client.start()
         return client
 
+    # -- health observatory --------------------------------------------------
+
+    def attach_health(self, stale_after_ms: Optional[float] = None
+                      ) -> "HealthMonitor":
+        """Attach a live :class:`~repro.obs.health.HealthMonitor` sink.
+
+        Requires an enabled registry (the monitor folds the health events
+        the servers emit). The default staleness bound is 20 heartbeat
+        periods — long enough that a lagging reporter isn't dismissed,
+        short enough that a partitioned server's claims visibly expire.
+        """
+        from repro.obs.health import HealthMonitor
+        if not self.obs.enabled:
+            raise ConfigError(
+                "attach_health needs build_experiment(..., obs=<enabled "
+                "registry>) — health views are events, and the null "
+                "registry drops them"
+            )
+        if stale_after_ms is None:
+            stale_after_ms = 20.0 * self.config.election_timeout_ms
+        monitor = HealthMonitor(stale_after_ms=stale_after_ms)
+        self.obs.add_sink(monitor)
+        return monitor
+
+    def statuses(self) -> Dict[int, Dict[str, Any]]:
+        """Every live server's :meth:`~repro.replica.Replica.status` view
+        (the sim-side analogue of polling each node's admin endpoint);
+        crashed servers report only ``{"pid", "phase": "crashed"}``."""
+        out: Dict[int, Dict[str, Any]] = {}
+        for pid in self.cluster.pids:
+            if self.cluster.is_crashed(pid):
+                out[pid] = {"pid": pid, "phase": "crashed"}
+            else:
+                out[pid] = self.cluster.replica(pid).status()
+        return out
+
+    def ground_truth(self) -> Dict[Tuple[int, int], bool]:
+        """The network's actual full-duplex link state, comparable to the
+        health monitor's believed matrix."""
+        from repro.obs.health import ground_truth_from_network
+        return ground_truth_from_network(self.network, list(self.cluster.pids))
+
 
 def make_replica(cfg: ExperimentConfig, pid: int,
                  servers: Optional[Tuple[int, ...]] = None) -> Replica:

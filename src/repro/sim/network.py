@@ -309,6 +309,13 @@ class SimNetwork(Instrumented):
         delay = send_done - now + lat
         if self._jitter_ms > 0.0 and rng is not None:
             delay += rng.random() * self._jitter_ms
+        if self._obs_on:
+            # The modeled round trip if a reply came straight back over the
+            # same (symmetric) link — the sim analogue of the TCP
+            # transport's ping-loop samples. Reads `delay` only; consumes
+            # no randomness, so arrival times stay bit-identical.
+            self._obs.histogram("repro_link_rtt_ms", src=src,
+                                dst=dst).observe(2.0 * delay)
         arrival = now + delay
         # FIFO per ordered pair: never deliver before an earlier send.
         arrival2 = self._last_delivery.get(key, 0.0)

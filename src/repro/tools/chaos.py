@@ -136,9 +136,13 @@ def cmd_smoke(args) -> int:
                     with open(base + ".schedule.json", "w") as fh:
                         fh.write(schedule.to_json() + "\n")
                     # Re-run with an enabled registry so the artifact
-                    # includes the full event export (deterministic replay).
+                    # includes the full event export (deterministic
+                    # replay) plus the flight-recorder dump of the final
+                    # moments before the violation.
                     run_schedule(
-                        schedule, obs=_registry_for(base + ".events.jsonl")
+                        schedule,
+                        obs=_registry_for(base + ".events.jsonl"),
+                        flight_path=base + ".flight.jsonl",
                     )
     if failures:
         print(f"{failures} failing schedule(s)", file=sys.stderr)

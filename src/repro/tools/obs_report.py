@@ -1,11 +1,13 @@
 """CLI: summarize and reconstruct exported observability streams.
 
-``repro-obs`` has three subcommands over a JSON-lines export (see
+``repro-obs`` has four subcommands over a JSON-lines export (see
 :class:`repro.obs.exporters.JsonLinesSink`)::
 
     repro-obs report run.jsonl --window-ms 5000     # paper-style summary
     repro-obs timeline run.jsonl --width 72         # ASCII scenario Gantt
     repro-obs spans run.jsonl --kind commit         # reconstructed spans
+    repro-obs watch run.jsonl --at-ms 3000          # health dashboard
+    repro-obs watch --demo quorum-loss              # live partitioned sim
 
 The bare legacy form ``repro-obs run.jsonl`` still works and means
 ``report``. The numbers match the harness's own trackers exactly: both
@@ -24,8 +26,9 @@ from repro.obs.exporters import read_jsonl
 from repro.obs.report import summarize_run
 from repro.obs.spans import SPAN_KINDS, assemble_spans
 from repro.obs.timeline import render_spans, render_timeline
+from repro.obs.watch import DEMO_SCENARIOS, watch_demo, watch_export
 
-COMMANDS = ("report", "timeline", "spans")
+COMMANDS = ("report", "timeline", "spans", "watch")
 
 
 def _add_window_args(parser: argparse.ArgumentParser) -> None:
@@ -69,6 +72,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="only these span kinds (repeatable)")
     spans.add_argument("--settle-ms", type=float, default=500.0,
                        help="quiet gap that separates election episodes")
+
+    watch = sub.add_parser(
+        "watch", help="health dashboard: connectivity matrix, leader lane, "
+                      "lag, gray failures")
+    watch.add_argument("path", nargs="?", default=None,
+                       help="path to the .jsonl export (omit with --demo)")
+    watch.add_argument("--at-ms", type=float, default=None,
+                       help="render the state as of this time "
+                            "(default: end of export)")
+    watch.add_argument("--stale-after-ms", type=float, default=None,
+                       help="mark reporters silent for this long as stale")
+    watch.add_argument("--demo", choices=DEMO_SCENARIOS, default=None,
+                       help="run a live partitioned sim instead of "
+                            "replaying an export")
+    watch.add_argument("--servers", type=int, default=5,
+                       help="demo cluster size")
+    watch.add_argument("--election-timeout-ms", type=float, default=100.0,
+                       help="demo election timeout")
+    watch.add_argument("--seed", type=int, default=0, help="demo seed")
     return parser
 
 
@@ -96,7 +118,9 @@ def _cmd_report(args) -> int:
         return 1
     events, metrics = loaded
     if not events and not metrics:
-        print(f"{args.path}: no events or metrics found")
+        print(f"{args.path}: export is empty — no events or metrics found "
+              "(was the run captured with an enabled registry?)",
+              file=sys.stderr)
         return 1
     try:
         report = summarize_run(
@@ -153,6 +177,35 @@ def _cmd_spans(args) -> int:
     return 0
 
 
+def _cmd_watch(args) -> int:
+    if args.demo is not None:
+        disagreements = watch_demo(
+            scenario=args.demo,
+            num_servers=args.servers,
+            election_timeout_ms=args.election_timeout_ms,
+            seed=args.seed,
+            out=sys.stdout,
+        )
+        # The demo *must* catch the belief/truth gap right after the
+        # netsplit; zero means the health layer is broken (CI greps this).
+        return 0 if disagreements > 0 else 1
+    if args.path is None:
+        print("watch needs an export path (or --demo <scenario>)",
+              file=sys.stderr)
+        return 2
+    loaded = _load(args.path)
+    if loaded is None:
+        return 1
+    events, _metrics = loaded
+    try:
+        print(watch_export(events, at_ms=args.at_ms,
+                           stale_after_ms=args.stale_after_ms))
+    except ConfigError as exc:
+        print(f"{args.path}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -169,6 +222,7 @@ def main(argv=None) -> int:
         "report": _cmd_report,
         "timeline": _cmd_timeline,
         "spans": _cmd_spans,
+        "watch": _cmd_watch,
     }[args.command]
     return handler(args)
 

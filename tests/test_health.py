@@ -1,0 +1,359 @@
+"""Health observatory: connectivity matrix vs ground truth, gray failures.
+
+The tentpole claims under test:
+
+- the believed-connectivity matrix assembled from heartbeat views matches
+  the network's actual link state once heartbeat rounds quiesce, under
+  each paper partition scenario,
+- a 100x-slowed leader (per-pid tick scaling, the fail-slow scenario of
+  ROADMAP item 5) is flagged ``PeerDegraded`` by the gray-failure
+  detectors while every crash/partition signal stays green — heartbeat
+  liveness lies, beacon intervals do not.
+"""
+
+import pytest
+
+from repro.obs.events import (
+    HeartbeatViewReported,
+    PeerDegraded,
+    PeerRecovered,
+    SessionDropped,
+)
+from repro.obs.exporters import MemorySink
+from repro.obs.health import (
+    ConnectivityMatrix,
+    GrayFailureDetector,
+    HealthMonitor,
+    ground_truth_from_network,
+    matrix_disagreements,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.sim import partitions
+from repro.sim.harness import ExperimentConfig, build_experiment
+
+from tests.conftest import build_omni_cluster, run_until_leader
+
+
+def _view(pid, peers, **kw):
+    defaults = dict(pid=pid, round=1, ballot=1, leader=1,
+                    quorum_connected=True, connectivity=len(peers) + 1,
+                    peers_heard=tuple(peers), phase="follower")
+    defaults.update(kw)
+    return HeartbeatViewReported(**defaults)
+
+
+class TestConnectivityMatrix:
+    def test_beliefs_follow_latest_view(self):
+        m = ConnectivityMatrix()
+        m.observe(_view(1, (2, 3)), at_ms=100.0)
+        assert m.believes_up(1, 2) is True
+        assert m.believes_up(1, 3) is True
+        m.observe(_view(1, (2,), round=2), at_ms=150.0)
+        assert m.believes_up(1, 3) is False
+        assert m.belief(1, 3).round == 2
+
+    def test_unknown_reporter_has_no_claim(self):
+        m = ConnectivityMatrix()
+        m.observe(_view(1, (2,)), at_ms=100.0)
+        assert m.believes_up(2, 1) is None
+        assert m.believes_up(1, 1) is True  # self link is trivially up
+
+    def test_pids_unions_reporters_and_peers(self):
+        m = ConnectivityMatrix()
+        m.observe(_view(1, (2, 5)), at_ms=0.0)
+        assert m.pids() == (1, 2, 5)
+
+    def test_freshness_and_staleness(self):
+        m = ConnectivityMatrix(stale_after_ms=200.0)
+        m.observe(_view(1, (2,)), at_ms=100.0)
+        assert m.freshness_ms(1, now_ms=150.0) == 50.0
+        assert not m.is_stale(1, now_ms=250.0)
+        assert m.is_stale(1, now_ms=400.0)
+        assert m.is_stale(2, now_ms=100.0)  # never reported
+
+    def test_disagreements_against_truth(self):
+        m = ConnectivityMatrix()
+        m.observe(_view(1, (2,)), at_ms=0.0)
+        m.observe(_view(2, (1,)), at_ms=0.0)
+        truth = {(1, 2): False, (2, 1): False}  # net actually cut
+        got = matrix_disagreements(m, truth)
+        assert got == [(1, 2, True, False), (2, 1, True, False)]
+
+    def test_stale_reporters_skipped_in_disagreements(self):
+        m = ConnectivityMatrix(stale_after_ms=100.0)
+        m.observe(_view(1, (2,)), at_ms=0.0)
+        truth = {(1, 2): False}
+        assert matrix_disagreements(m, truth, now_ms=50.0)
+        assert matrix_disagreements(m, truth, now_ms=500.0) == []
+
+
+class TestGrayFailureDetectorUnit:
+    def test_stretched_beacons_flag_degraded(self):
+        reg = MetricsRegistry()
+        sink = MemorySink()
+        reg.add_sink(sink)
+        det = GrayFailureDetector(pid=1, expected_interval_ms=50.0)
+        det.bind(reg)
+        now = 0.0
+        for _ in range(5):  # healthy cadence
+            det.observe_beacon(2, now)
+            now += 50.0
+        assert det.degraded_peers() == ()
+        for _ in range(6):  # peer's clock runs 10x slow
+            det.observe_beacon(2, now)
+            now += 500.0
+        assert det.degraded_peers() == (2,)
+        events = sink.by_kind("PeerDegraded")
+        assert len(events) == 1
+        assert events[0].event.reason == "heartbeat_interval"
+        assert events[0].event.score >= det.degraded_factor
+        assert reg.counter("repro_peer_degraded_total",
+                           pid=1, peer=2).value == 1
+
+    def test_recovery_has_hysteresis(self):
+        reg = MetricsRegistry()
+        sink = MemorySink()
+        reg.add_sink(sink)
+        det = GrayFailureDetector(pid=1, expected_interval_ms=50.0)
+        det.bind(reg)
+        now = 0.0
+        det.observe_beacon(2, now)
+        for _ in range(8):
+            now += 500.0
+            det.observe_beacon(2, now)
+        assert det.degraded_peers() == (2,)
+        # Back to a healthy cadence: must fall *under* recover_factor,
+        # not merely under degraded_factor, before the flag clears.
+        recovered_at = None
+        for i in range(40):
+            now += 50.0
+            det.observe_beacon(2, now)
+            if not det.degraded_peers():
+                recovered_at = i
+                break
+        assert recovered_at is not None
+        assert len(sink.by_kind("PeerRecovered")) == 1
+        # The scores crossed (recover, degraded) strictly before clearing.
+        assert det.score_of(2) <= det.recover_factor
+
+    def test_partition_gap_does_not_linger(self):
+        """A total beacon gap (a partition) is the fail-stop detectors'
+        business: the interval sample is capped, so the flag clears
+        within a few healthy beacons of the heal instead of polluting
+        the EWMA with one enormous sample."""
+        det = GrayFailureDetector(pid=1, expected_interval_ms=50.0)
+        now = 0.0
+        for _ in range(10):
+            det.observe_beacon(2, now)
+            now += 50.0
+        now += 5_000.0  # the partition window: total silence
+        det.observe_beacon(2, now)
+        healthy_until_clear = 0
+        while det.degraded_peers():
+            now += 50.0
+            det.observe_beacon(2, now)
+            healthy_until_clear += 1
+            assert healthy_until_clear < 12, "gap flag lingered"
+
+    def test_rtt_spike_flags_with_rtt_reason(self):
+        det = GrayFailureDetector(pid=1, expected_interval_ms=50.0,
+                                  min_rtt_floor_ms=1.0)
+        for _ in range(5):
+            det.observe_rtt(3, 1.0)
+        assert det.degraded_peers() == ()
+        for _ in range(10):
+            det.observe_rtt(3, 100.0)
+        assert det.degraded_peers() == (3,)
+        assert det.peers[3].reason == "rtt"
+
+    def test_subfloor_noise_never_flags(self):
+        det = GrayFailureDetector(pid=1, expected_interval_ms=50.0)
+        # Localhost-style jitter: all samples far below the floor.
+        for rtt in (0.05, 0.2, 0.4, 0.1, 0.9, 0.3) * 5:
+            det.observe_rtt(2, rtt)
+        assert det.degraded_peers() == ()
+
+    def test_snapshot_is_json_safe(self):
+        import json
+        det = GrayFailureDetector(pid=1, expected_interval_ms=50.0)
+        det.observe_beacon(2, 0.0)
+        det.observe_beacon(2, 50.0)
+        det.observe_rtt(2, 0.4)
+        json.dumps(det.snapshot())
+
+
+def _observed_cluster(n=5, hb_period_ms=50.0):
+    """A sim cluster with an enabled registry + health monitor attached."""
+    sim, servers = build_omni_cluster(n, hb_period_ms=hb_period_ms)
+    reg = MetricsRegistry(clock=lambda: sim.queue.now)
+    sink = MemorySink()
+    monitor = HealthMonitor(stale_after_ms=20 * hb_period_ms)
+    reg.add_sink(sink)
+    reg.add_sink(monitor)
+    for server in servers.values():
+        server.set_observability(reg)
+    return sim, servers, sink, monitor
+
+
+class TestMatrixMatchesGroundTruth:
+    """Satellite: under each paper partition the assembled matrix must
+    match the network's link state exactly once heartbeat rounds quiesce."""
+
+    SETTLE_MS = 2_000.0
+
+    def _assert_matrix_matches(self, sim, monitor):
+        truth = ground_truth_from_network(sim.network, list(sim.pids))
+        disputes = matrix_disagreements(monitor.matrix, truth, sim.now)
+        assert disputes == [], disputes
+
+    @pytest.mark.parametrize("scenario", ["quorum_loss", "constrained",
+                                          "chained"])
+    def test_partition_scenarios(self, scenario):
+        sim, servers, sink, monitor = _observed_cluster(5)
+        run_until_leader(sim)
+        sim.run_for(self.SETTLE_MS)
+        self._assert_matrix_matches(sim, monitor)
+
+        if scenario == "quorum_loss":
+            partitions.quorum_loss(sim, pivot=3)
+        elif scenario == "constrained":
+            leader = sim.leaders()[0]
+            pivot = next(p for p in sim.pids if p != leader)
+            partitions.constrained_election(sim, pivot=pivot, leader=leader)
+        else:
+            partitions.chained(sim, order=list(sim.pids))
+        # Immediately after the cut the believed matrix still describes
+        # the old topology: the disagreement signal must be non-empty.
+        truth = ground_truth_from_network(sim.network, list(sim.pids))
+        assert matrix_disagreements(monitor.matrix, truth, sim.now)
+
+        sim.run_for(self.SETTLE_MS)
+        self._assert_matrix_matches(sim, monitor)
+
+        partitions.heal(sim)
+        sim.run_for(self.SETTLE_MS)
+        self._assert_matrix_matches(sim, monitor)
+
+    def test_matrix_as_dict_shape(self):
+        sim, servers, sink, monitor = _observed_cluster(3)
+        run_until_leader(sim)
+        sim.run_for(self.SETTLE_MS)
+        assert monitor.matrix.as_dict() == {
+            1: (2, 3), 2: (1, 3), 3: (1, 2),
+        }
+
+
+class TestGrayFailureInSim:
+    """Acceptance: a 100x-slowed leader is flagged PeerDegraded while the
+    crash/partition detectors stay silent."""
+
+    def test_slow_leader_flagged_degraded_only(self):
+        sim, servers, sink, monitor = _observed_cluster(3)
+        leader = run_until_leader(sim)
+        sim.run_for(1_000.0)
+        slowdown_at = sim.now
+        sim.set_tick_scale(leader, 100.0)
+        sim.run_for(6_000.0)
+
+        followers = [p for p in sim.pids if p != leader]
+        degraded = [r.event for r in sink.by_kind("PeerDegraded")
+                    if r.at_ms >= slowdown_at]
+        # Every follower noticed the leader's stretched beacons.
+        assert {e.pid for e in degraded if e.peer == leader} == set(followers)
+        assert all(e.reason == "heartbeat_interval"
+                   for e in degraded if e.peer == leader)
+        for f in followers:
+            assert servers[f].gray_detector.degraded_peers() == (leader,)
+
+        # ... while every fail-stop detector stays green: nobody crashed,
+        # no link dropped, no session broke, the matrix still believes the
+        # leader fully connected, and the leader kept its ballot.
+        assert not sim.is_crashed(leader)
+        assert sim.network.down_links() == ()
+        assert not [r for r in sink.by_kind("SessionDropped")
+                    if r.at_ms >= slowdown_at]
+        for f in followers:
+            assert monitor.matrix.believes_up(f, leader) is True
+        assert sim.leaders() == [leader]
+        truth = ground_truth_from_network(sim.network, list(sim.pids))
+        assert matrix_disagreements(monitor.matrix, truth, sim.now) == []
+
+    def test_restored_leader_recovers(self):
+        sim, servers, sink, monitor = _observed_cluster(3)
+        leader = run_until_leader(sim)
+        sim.run_for(1_000.0)
+        sim.set_tick_scale(leader, 100.0)
+        sim.run_for(6_000.0)
+        assert monitor.degraded_pairs()
+        sim.set_tick_scale(leader, 1.0)
+        sim.run_for(3_000.0)
+        assert sink.by_kind("PeerRecovered")
+        assert monitor.degraded_pairs() == []
+
+
+class TestStatusSurfaces:
+    def test_omni_status_fields(self):
+        sim, servers, sink, monitor = _observed_cluster(3)
+        leader = run_until_leader(sim)
+        sim.run_for(1_000.0)
+        status = servers[leader].status()
+        assert status["phase"] == "leader"
+        assert status["leader"] == leader
+        assert status["quorum_connected"] is True
+        assert status["connectivity"] == 3
+        assert sorted(status["peers_heard"] + [leader]) == list(sim.pids)
+        assert status["hb_round"] > 0
+        import json
+        json.dumps(status)
+
+    def test_raft_status_and_views(self):
+        reg = MetricsRegistry()
+        sink = MemorySink()
+        reg.add_sink(sink)
+        exp = build_experiment(ExperimentConfig(
+            protocol="raft", num_servers=3, election_timeout_ms=100.0,
+            initial_leader=1), obs=reg)
+        exp.cluster.run_for(2_000.0)
+        views = [r.event for r in sink.by_kind("HeartbeatViewReported")]
+        assert views, "raft servers must report health views too"
+        leader_views = [v for v in views if v.pid == 1]
+        assert leader_views[-1].phase == "leader"
+        assert leader_views[-1].ballot >= 1  # the raft term
+        assert tuple(leader_views[-1].peers_heard) == (2, 3)
+        status = exp.cluster.replica(2).status()
+        assert status["protocol"] == "raft"
+        assert status["leader"] == 1
+        assert status["peers_heard"] == [1]  # followers only hear the leader
+
+    def test_default_replica_status(self):
+        exp = build_experiment(ExperimentConfig(
+            protocol="multipaxos", num_servers=3,
+            election_timeout_ms=100.0, initial_leader=1))
+        exp.cluster.run_for(500.0)
+        status = exp.cluster.replica(1).status()
+        assert status["pid"] == 1
+        assert status["phase"] in ("leader", "follower")
+
+    def test_harness_statuses_and_ground_truth(self):
+        reg = MetricsRegistry()
+        exp = build_experiment(ExperimentConfig(
+            protocol="omni", num_servers=3, election_timeout_ms=100.0,
+            initial_leader=1), obs=reg)
+        monitor = exp.attach_health()
+        exp.cluster.run_for(2_000.0)
+        statuses = exp.statuses()
+        assert set(statuses) == {1, 2, 3}
+        assert statuses[1]["phase"] == "leader"
+        exp.cluster.crash(2)
+        assert exp.statuses()[2]["phase"] == "crashed"
+        truth = exp.ground_truth()
+        assert truth[(1, 3)] is True
+        assert matrix_disagreements(monitor.matrix, truth, exp.cluster.now) \
+            == []
+
+    def test_attach_health_requires_enabled_registry(self):
+        from repro.errors import ConfigError
+        exp = build_experiment(ExperimentConfig(
+            protocol="omni", num_servers=3, election_timeout_ms=100.0))
+        with pytest.raises(ConfigError):
+            exp.attach_health()
