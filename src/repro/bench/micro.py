@@ -165,28 +165,37 @@ def bench_commit_loop(n_batches: int, batch_entries: int,
 
 def bench_obs_overhead(n_batches: int, batch_entries: int,
                        seed: int = 0) -> Dict[str, Any]:
-    """The health observatory's cost: the commit loop off vs fully on.
+    """The full observability stack's cost: the commit loop off vs on.
 
-    Runs the same 3-server commit workload twice — once with the null
-    registry (the disabled path every production-off run takes) and once
-    with an enabled registry carrying the full health stack (connectivity
-    monitor + flight recorder sinks). The decided-log digests of the two
+    Runs the same 3-server commit workload three times — with the null
+    registry (the disabled path every production-off run takes), with an
+    enabled registry carrying the health observatory (connectivity
+    monitor + flight recorder sinks, the pre-series stack), and with
+    that plus the windowed series engine and queue-depth profiler
+    (``Experiment.attach_series``). The decided-log digests of all three
     runs MUST be identical: observability is passive, so turning it on may
     cost wall-clock but can never change what gets decided. ``ops`` counts
-    the enabled run's decided entries; the off/on wall times land in the
+    the enabled run's decided entries; the wall times land in the
     (non-deterministic) ``wall_off_s`` / ``wall_on_s`` fields so future
-    PRs can watch the enabled-path overhead trend.
+    PRs can watch the enabled-path overhead trend, and
+    ``series_overhead_ratio`` isolates what the series engine itself adds
+    on top of the already-enabled health stack.
     """
     from repro.obs.flight import FlightRecorder
     from repro.obs.health import HealthMonitor
     from repro.obs.registry import MetricsRegistry
+    # Pre-warm the series engine's module import: attach_series defers it,
+    # and paying it inside the timed enabled run would bill a one-time
+    # interpreter cost to the steady-state overhead ratio.
+    import repro.obs.series  # noqa: F401
 
     cfg = ExperimentConfig(protocol="omni", num_servers=3,
                            election_timeout_ms=100.0, one_way_ms=0.1,
                            seed=seed, initial_leader=1)
 
-    def drive(obs) -> Dict[str, Any]:
+    def drive(obs, series: bool) -> Dict[str, Any]:
         exp = build_experiment(cfg, obs=obs)
+        collector = exp.attach_series(window_ms=100.0) if series else None
         digest = LogDigest()
         decided_at_leader = 0
 
@@ -212,25 +221,59 @@ def bench_obs_overhead(n_batches: int, batch_entries: int,
             "decided": decided_at_leader,
             "digest": digest.hexdigest(),
             "events_processed": exp.queue.processed,
+            # Post-run analysis (collector.finish) happens outside the
+            # timed region: the overhead ratio measures live perturbation,
+            # not report generation.
+            "collector": collector,
+            "end_ms": exp.queue.now,
         }
 
-    off, wall_off = timed(lambda: drive(None))
+    def make_registry() -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.add_sink(HealthMonitor())
+        registry.add_sink(FlightRecorder())
+        return registry
 
-    registry = MetricsRegistry()
-    monitor = HealthMonitor()
-    recorder = FlightRecorder()
-    registry.add_sink(monitor)
-    registry.add_sink(recorder)
-    on, wall_on = timed(lambda: drive(registry))
+    def best_of(fn, reps: int = 3):
+        # The per-config runs are deterministic, so any rep's result will
+        # do; min-of-reps is the standard defence against scheduler noise
+        # at smoke-budget run lengths (tens of milliseconds).
+        result, best = timed(fn)
+        for _ in range(reps - 1):
+            result, wall = timed(fn)
+            best = min(best, wall)
+        return result, best
+
+    off, wall_off = best_of(lambda: drive(None, series=False))
+    health, wall_health = best_of(lambda: drive(make_registry(), series=False))
+
+    sinks: Dict[str, Any] = {}
+
+    def drive_full() -> Dict[str, Any]:
+        # Fresh registry per rep: attach_series adds a collector sink, so
+        # reusing one registry would stack collectors across reps.
+        registry = MetricsRegistry()
+        sinks["monitor"] = monitor = HealthMonitor()
+        sinks["recorder"] = recorder = FlightRecorder()
+        registry.add_sink(monitor)
+        registry.add_sink(recorder)
+        return drive(registry, series=True)
+
+    on, wall_on = best_of(drive_full)
+    monitor = sinks["monitor"]
+    recorder = sinks["recorder"]
+    windows = on["collector"].finish(on["end_ms"])
 
     counters = {
         "decided_entries": on["decided"],
         "decided_log_digest": on["digest"],
-        "digests_identical": off["digest"] == on["digest"],
+        "digests_identical": (off["digest"] == on["digest"]
+                              and health["digest"] == on["digest"]),
         "events_processed_off": off["events_processed"],
         "events_processed_on": on["events_processed"],
         "health_reporters": len(monitor.matrix.views),
         "flight_retained": len(recorder),
+        "series_windows": len(windows),
     }
     ops = n_batches * batch_entries
     return make_result(
@@ -240,6 +283,9 @@ def bench_obs_overhead(n_batches: int, batch_entries: int,
             "wall_on_s": round(wall_on, 6),
             "enabled_overhead_ratio": (
                 round(wall_on / wall_off, 3) if wall_off > 0 else 0.0
+            ),
+            "series_overhead_ratio": (
+                round(wall_on / wall_health, 3) if wall_health > 0 else 0.0
             ),
         },
     )

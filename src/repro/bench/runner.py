@@ -141,6 +141,48 @@ def deterministic_view(doc: Dict[str, Any]) -> Dict[str, Any]:
 INFORMATIONAL_COUNTERS = frozenset({"frame_bytes", "stream_bytes"})
 
 
+def compare_phases(before: Dict[str, Any], after: Dict[str, Any],
+                   threshold: float = 0.10) -> Dict[str, Any]:
+    """Attribute a macro-bench latency change to commit phases.
+
+    Both documents must carry ``phases`` blocks on their macro results
+    (``repro-bench run --trace``); benches without them are skipped, so an
+    untraced comparison just yields ``{}``. For every common phase whose
+    mean moved beyond ``threshold`` the entry records the direction, and
+    ``dominant`` names the phase with the largest absolute mean increase —
+    the answer to "*which phase* regressed", not just the end-to-end wall.
+    """
+    out: Dict[str, Any] = {}
+    for name, b in before.get("macro", {}).items():
+        a = after.get("macro", {}).get(name)
+        if a is None or "phases" not in b or "phases" not in a:
+            continue
+        deltas: Dict[str, Any] = {}
+        dominant = None
+        dominant_gain = 0.0
+        for phase in sorted(set(b["phases"]) & set(a["phases"])):
+            b_mean = b["phases"][phase]["mean_ms"]
+            a_mean = a["phases"][phase]["mean_ms"]
+            change = (a_mean - b_mean) / max(abs(b_mean), 1e-9)
+            verdict = ("regressed" if change > threshold
+                       else "improved" if change < -threshold
+                       else "unchanged")
+            deltas[phase] = {
+                "before_mean_ms": b_mean,
+                "after_mean_ms": a_mean,
+                "change": round(change, 3),
+                "verdict": verdict,
+            }
+            gain = a_mean - b_mean
+            if verdict == "regressed" and gain > dominant_gain:
+                dominant_gain, dominant = gain, phase
+        entry: Dict[str, Any] = {"phases": deltas}
+        if dominant is not None:
+            entry["dominant_regressed_phase"] = dominant
+        out[f"macro.{name}"] = entry
+    return out
+
+
 def compare_results(before: Dict[str, Any],
                     after: Dict[str, Any]) -> Dict[str, Any]:
     """Merge two bench documents into a before/after comparison.
@@ -150,7 +192,10 @@ def compare_results(before: Dict[str, Any],
     (including decided-log digests) matches between the two documents —
     the harness's proof that an optimization did not change protocol
     behaviour. Counters in :data:`INFORMATIONAL_COUNTERS` are excluded:
-    they track the wire encoding, not the protocol.
+    they track the wire encoding, not the protocol. When both documents
+    carry traced ``phases`` blocks, ``phase_attribution`` (see
+    :func:`compare_phases`) localizes any macro latency change to the
+    commit phase that moved.
     """
     speedup: Dict[str, float] = {}
     for section in ("micro", "macro"):
@@ -177,6 +222,7 @@ def compare_results(before: Dict[str, Any],
         "speedup": speedup,
         "behaviour_identical": not mismatches,
         "counter_mismatches": mismatches,
+        "phase_attribution": compare_phases(before, after),
     }
 
 

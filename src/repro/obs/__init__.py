@@ -47,6 +47,7 @@ from repro.obs.events import (
     ProposalAppended,
     ProtocolEvent,
     QCFlagChanged,
+    QueueDepthSampled,
     QuorumAccepted,
     RecoveryCompleted,
     RecoveryStarted,
@@ -55,6 +56,21 @@ from repro.obs.events import (
     StopSignDecided,
     event_from_dict,
     event_to_dict,
+)
+from repro.obs.prof import (
+    PathAttribution,
+    attribute_commit_paths,
+    dominant_phase_by_window,
+    sample_queue_depths,
+)
+from repro.obs.series import (
+    SeriesCollector,
+    SeriesWindow,
+    diff_series,
+    read_series,
+    render_diff,
+    series_from_events,
+    series_lanes,
 )
 from repro.obs.exporters import (
     JsonLinesSink,
@@ -101,27 +117,39 @@ __all__ = [
     "MigrationSegmentReceived",
     "NULL_REGISTRY",
     "ProposalAppended",
+    "PathAttribution",
     "ProtocolEvent",
     "QCFlagChanged",
+    "QueueDepthSampled",
     "QuorumAccepted",
     "RecoveryCompleted",
     "RecoveryStarted",
     "RoleChanged",
     "RunReport",
     "SPAN_KINDS",
+    "SeriesCollector",
+    "SeriesWindow",
     "SessionDropped",
     "Span",
     "StopSignDecided",
     "TraceContext",
     "assemble_spans",
+    "attribute_commit_paths",
+    "diff_series",
+    "dominant_phase_by_window",
     "entry_trace_id",
     "event_from_dict",
     "event_to_dict",
     "observe_span_histograms",
     "read_jsonl",
+    "read_series",
+    "render_diff",
     "render_prometheus",
     "render_spans",
     "render_timeline",
+    "sample_queue_depths",
+    "series_from_events",
+    "series_lanes",
     "span_quantile",
     "summarize_run",
 ]

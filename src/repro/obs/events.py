@@ -156,6 +156,9 @@ class HeartbeatViewReported(ProtocolEvent):
     phase: str = "follower"
     log_len: int = 0
     decided_idx: int = 0
+    #: Absolute deviation of this round's close from the expected heartbeat
+    #: cadence (ms); 0.0 on exports from before the series engine existed.
+    jitter_ms: float = 0.0
 
 
 @dataclass(frozen=True, **SLOTTED)
@@ -182,6 +185,21 @@ class PeerRecovered(ProtocolEvent):
     pid: int = 0
     peer: int = 0
     score: float = 0.0
+
+
+@dataclass(frozen=True, **SLOTTED)
+class QueueDepthSampled(ProtocolEvent):
+    """Instantaneous depth of one staging queue (``queue`` names it: see
+    ``repro.obs.prof.QUEUE_NAMES``) sampled by the profiler. ``pid`` is the
+    owning server, or ``None`` for cluster-wide queues such as the sim event
+    heap and the network's in-flight set. The flight recorder keeps these in
+    a dedicated lane so a post-mortem dump shows backpressure at the moment
+    of a violation without evicting protocol events."""
+
+    kind: ClassVar[str] = "QueueDepthSampled"
+    queue: str = ""
+    depth: int = 0
+    pid: Optional[int] = None
 
 
 @dataclass(frozen=True, **SLOTTED)
@@ -311,6 +329,7 @@ EVENT_TYPES: Dict[str, Type[ProtocolEvent]] = {
         HeartbeatViewReported,
         PeerDegraded,
         PeerRecovered,
+        QueueDepthSampled,
         ClientReplyDecided,
         ProposalAppended,
         QuorumAccepted,

@@ -75,6 +75,15 @@ class JsonLinesSink:
         for line in metrics_snapshot(registry):
             self._fh.write(json.dumps(line, sort_keys=True) + "\n")
 
+    def write_series(self, windows: Iterable[Any]) -> None:
+        """Append one ``{"t": "series", ...}`` line per
+        :class:`~repro.obs.series.SeriesWindow`, so one export carries the
+        run's windowed time series next to its events and metrics (read
+        back with :func:`repro.obs.series.read_series`)."""
+        from repro.obs.series import series_to_jsonl
+        for line in series_to_jsonl(windows):
+            self._fh.write(line + "\n")
+
     def close(self, registry: Optional[MetricsRegistry] = None) -> None:
         """Optionally snapshot ``registry``, then flush (and close the file
         if this sink opened it)."""
@@ -146,6 +155,10 @@ def read_jsonl(
             events.append(event_from_dict(payload))
         elif tag == "metric":
             metrics.append(payload)
+        elif tag == "series":
+            # Windowed time-series lines ride alongside events/metrics;
+            # repro.obs.series.read_series parses them.
+            continue
         else:
             raise ConfigError(f"unknown JSON-lines record tag {tag!r}")
     return events, metrics

@@ -20,7 +20,7 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import ConfigError
-from repro.obs.events import EventRecord
+from repro.obs.events import EventRecord, QueueDepthSampled
 from repro.obs.exporters import JsonLinesSink
 from repro.obs.registry import MetricsRegistry
 
@@ -28,14 +28,22 @@ from repro.obs.registry import MetricsRegistry
 #: events to reconstruct several seconds of a busy server's history.
 DEFAULT_CAPACITY = 512
 
+#: Lane key for queue-depth samples (see :meth:`FlightRecorder.lane`).
+DEPTH_LANE = "depth"
+
 
 class FlightRecorder:
     """A registry sink retaining the last ``capacity`` events per lane.
 
     Events are laned by their ``pid`` field; events without one (client
-    replies, nemesis injections) share the ``None`` lane. Lanes are
-    bounded deques, so recording is O(1) and total memory is bounded by
-    ``capacity × (servers + 1)`` regardless of run length — the property
+    replies, nemesis injections) share the ``None`` lane. Queue-depth
+    samples (:class:`~repro.obs.events.QueueDepthSampled`) get their own
+    dedicated :data:`DEPTH_LANE` — they arrive on a fixed cadence and
+    would otherwise evict the protocol events a post-mortem needs, and
+    keeping them separate means a dump always shows the backpressure
+    state at the moment of a violation. Lanes are bounded deques, so
+    recording is O(1) and total memory is bounded by
+    ``capacity × (servers + 2)`` regardless of run length — the property
     that makes it safe to leave on always.
     """
 
@@ -44,12 +52,17 @@ class FlightRecorder:
             raise ConfigError("flight recorder capacity must be positive")
         self.capacity = capacity
         self._lanes: Dict[Optional[int], Deque[EventRecord]] = {}
+        self._depth: Deque[EventRecord] = deque(maxlen=capacity)
         #: Total events ever recorded (including ones since evicted).
         self.recorded = 0
 
     # -- sink interface ----------------------------------------------------
 
     def record(self, record: EventRecord) -> None:
+        if isinstance(record.event, QueueDepthSampled):
+            self._depth.append(record)
+            self.recorded += 1
+            return
         pid = getattr(record.event, "pid", None)
         lane = self._lanes.get(pid)
         if lane is None:
@@ -60,16 +73,23 @@ class FlightRecorder:
     # -- introspection -----------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(len(lane) for lane in self._lanes.values())
+        return sum(len(lane) for lane in self._lanes.values()) + \
+            len(self._depth)
 
-    def lanes(self) -> List[Optional[int]]:
-        """Lane keys with retained events (pids plus ``None``), sorted."""
-        keys = [k for k in self._lanes if k is not None]
+    def lanes(self) -> List[Any]:
+        """Lane keys with retained events: pids sorted, then
+        :data:`DEPTH_LANE` if populated, then ``None``."""
+        keys: List[Any] = [k for k in self._lanes if k is not None]
         keys.sort()
+        if self._depth:
+            keys.append(DEPTH_LANE)
         return keys + ([None] if None in self._lanes else [])
 
-    def lane(self, pid: Optional[int]) -> List[EventRecord]:
-        """The retained events of one lane, oldest first."""
+    def lane(self, pid: Any) -> List[EventRecord]:
+        """The retained events of one lane, oldest first (pass
+        :data:`DEPTH_LANE` for the queue-depth samples)."""
+        if pid == DEPTH_LANE:
+            return list(self._depth)
         return list(self._lanes.get(pid, ()))
 
     def dump(self) -> List[EventRecord]:
@@ -81,11 +101,13 @@ class FlightRecorder:
         merged: List[EventRecord] = []
         for lane in self._lanes.values():
             merged.extend(lane)
+        merged.extend(self._depth)
         merged.sort(key=lambda r: r.at_ms)
         return merged
 
     def clear(self) -> None:
         self._lanes.clear()
+        self._depth.clear()
 
     # -- dumping -----------------------------------------------------------
 
@@ -114,11 +136,14 @@ class FlightRecorder:
             "capacity": self.capacity,
             "recorded": self.recorded,
             "retained": len(self),
-            "lanes": {
-                "global" if k is None else str(k): len(v)
-                for k, v in sorted(
-                    self._lanes.items(),
-                    key=lambda item: (item[0] is None, item[0] or 0),
-                )
-            },
+            "lanes": dict(
+                {
+                    "global" if k is None else str(k): len(v)
+                    for k, v in sorted(
+                        self._lanes.items(),
+                        key=lambda item: (item[0] is None, item[0] or 0),
+                    )
+                },
+                **({DEPTH_LANE: len(self._depth)} if self._depth else {}),
+            ),
         }

@@ -33,6 +33,7 @@ from repro.obs.events import (
     EventRecord,
     NemesisInjected,
     QCFlagChanged,
+    QueueDepthSampled,
 )
 from repro.obs.report import decided_tracker_from_events
 from repro.obs.spans import SPAN_COMMIT, SPAN_KINDS, Span, span_quantile
@@ -155,6 +156,36 @@ def render_timeline(
                 "!" if r.event.phase == "apply" else "^"
             )
         lines.append(_lane("nemesis", "".join(cells)))
+
+    # Backlog lane (profiled runs): per-column peak queue depth across all
+    # sampled staging queues, peak-normalized — reads as "where was the
+    # backpressure" against the cause markers above it.
+    depth_samples = [r for r in events
+                     if isinstance(r.event, QueueDepthSampled)]
+    if depth_samples:
+        peaks = [0] * scale.width
+        worst = (0, None)
+        for r in depth_samples:
+            if scale.start_ms <= r.at_ms <= scale.end_ms:
+                col = scale.col(r.at_ms)
+                if r.event.depth > peaks[col]:
+                    peaks[col] = r.event.depth
+                if r.event.depth > worst[0]:
+                    worst = (r.event.depth, r)
+        peak = max(peaks)
+        ramp = len(_DENSITY) - 1
+        cells = "".join(
+            _DENSITY[0 if n == 0 else max(1, round(n / peak * ramp))]
+            for n in peaks
+        ) if peak else " " * scale.width
+        lines.append(_lane("backlog", cells))
+        if worst[1] is not None:
+            ev = worst[1].event
+            where = f" s{ev.pid}" if ev.pid is not None else ""
+            lines.append(
+                f"peak backlog: {ev.depth} ({ev.queue}{where}"
+                f" @ {worst[1].at_ms:.1f} ms)"
+            )
 
     # Decided-reply density and the harness-identical down-time window.
     decided = [r.at_ms for r in events

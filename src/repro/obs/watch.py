@@ -154,7 +154,40 @@ def watch_export(
             "no HeartbeatViewReported events in the export — was the run "
             "captured with an enabled registry and this repo's health layer?"
         )
-    return render_dashboard(monitor, now_ms=at_ms)
+    frame = render_dashboard(monitor, now_ms=at_ms)
+    lanes = _series_lines(records, at_ms=at_ms)
+    if lanes:
+        frame += "\n" + "\n".join(lanes)
+    return frame
+
+
+#: Sparkline columns in the watch frame (last N windows, newest right).
+_SERIES_COLUMNS = 32
+
+
+def _series_lines(records: Sequence[EventRecord],
+                  at_ms: Optional[float] = None,
+                  window_ms: Optional[float] = None) -> List[str]:
+    """Sparkline lanes of the recent windowed series (throughput, commit
+    p95, queue backlog) under the health matrix — the "how is it trending"
+    half of the dashboard. Empty when the export holds too little history
+    for even one window."""
+    from repro.obs.series import series_from_events, series_lanes
+    scoped = [r for r in records if at_ms is None or r.at_ms <= at_ms]
+    if not scoped:
+        return []
+    span = max(r.at_ms for r in scoped) - min(r.at_ms for r in scoped)
+    if window_ms is None:
+        # Aim for a full sparkline width across the visible history.
+        window_ms = max(span / _SERIES_COLUMNS, 1.0)
+    if span < window_ms:
+        return []
+    windows = series_from_events(scoped, window_ms)[-_SERIES_COLUMNS:]
+    if not windows:
+        return []
+    lines = [f"  series ({window_ms:.0f} ms windows):"]
+    lines.extend("  " + lane for lane in series_lanes(windows))
+    return lines
 
 
 #: Scenario name -> the paper partition it demonstrates.

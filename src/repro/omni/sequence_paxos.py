@@ -234,6 +234,19 @@ class SequencePaxos(Instrumented):
     def storage(self) -> Storage:
         return self._storage
 
+    @property
+    def outbox_depth(self) -> int:
+        """Messages staged for the transport but not yet taken — the
+        leader's fan-out backlog when replication outruns the flush
+        cadence."""
+        return len(self._outbox)
+
+    @property
+    def pending_proposals(self) -> int:
+        """Proposals buffered while waiting for an Accept-phase leader
+        (admission backlog; drains on promotion or forward)."""
+        return len(self._buffer)
+
     def stopped(self) -> bool:
         """True when a stop-sign is in the local log or buffered for it
         (no further proposals are admitted either way)."""

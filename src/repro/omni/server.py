@@ -314,7 +314,20 @@ class OmniPaxosServer(Replica, Instrumented):
             phase="leader" if self.is_leader else "follower",
             log_len=inst.sp.log_len,
             decided_idx=len(self._global_log),
+            jitter_ms=ble.last_round_jitter_ms or 0.0,
         ))
+
+    def queue_depths(self) -> Dict[str, int]:
+        """Instantaneous staging-queue depths for the backpressure profiler
+        (see ``repro.obs.prof``): the server's envelope outbox plus the
+        active Sequence Paxos instance's outbox and pre-accept proposal
+        buffer."""
+        sp = self.sp_of_current()
+        return {
+            "server_outbox": len(self._outbox) + len(self._flush_buffer),
+            "sp_outbox": sp.outbox_depth if sp is not None else 0,
+            "sp_pending": sp.pending_proposals if sp is not None else 0,
+        }
 
     # ------------------------------------------------------------------
     # Replica interface: driving

@@ -29,6 +29,7 @@ import asyncio
 import json
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.errors import ConfigError
 from repro.obs.exporters import metrics_snapshot
 from repro.obs.flight import FlightRecorder
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
@@ -81,6 +82,8 @@ class RuntimeNode:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._tick_task: Optional[asyncio.Task] = None
         self._running = False
+        self._series: Optional["SeriesCollector"] = None
+        self._series_memo: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -171,6 +174,38 @@ class RuntimeNode:
             return 0
         return self.flight.dump_jsonl(path, self._obs)
 
+    def attach_series(self, window_ms: float = 1000.0) -> "SeriesCollector":
+        """Attach a live :class:`~repro.obs.series.SeriesCollector` driven
+        from the tick loop (wall-time windows, anchored at attach time).
+        Every tick also samples the transport's write-buffer/reconnect
+        backlog and the replica's staging-queue depths into
+        ``repro_queue_depth`` gauges and ``QueueDepthSampled`` events.
+        Call ``collector.finish()`` after :meth:`stop` for the windows."""
+        from repro.obs.series import SeriesCollector
+        if not self._obs.enabled:
+            raise ConfigError(
+                "attach_series needs RuntimeNode(..., obs=<enabled "
+                "registry>) — the series engine is fed by events, and the "
+                "null registry drops them"
+            )
+        start = self._now_ms() if self._loop is not None else 0.0
+        self._series = SeriesCollector(self._obs, window_ms=window_ms,
+                                       start_ms=start)
+        self._series_memo = {}
+        self._obs.add_sink(self._series)
+        return self._series
+
+    def _sample_series(self) -> None:
+        from repro.obs import prof
+        prof.sample_queue_depths(self._obs, self._mesh.queue_depths(),
+                                 pid=self.pid, last=self._series_memo)
+        depths = getattr(self._replica, "queue_depths", None)
+        if depths is not None:
+            prof.sample_queue_depths(self._obs, depths(), pid=self.pid,
+                                     last=self._series_memo)
+        assert self._series is not None
+        self._series.sample(self._now_ms())
+
     # ------------------------------------------------------------------
 
     async def _tick_loop(self) -> None:
@@ -179,6 +214,8 @@ class RuntimeNode:
                 await asyncio.sleep(self._tick_s)
                 self._replica.tick(self._now_ms())
                 self._flush()
+                if self._series is not None:
+                    self._sample_series()
         except asyncio.CancelledError:
             raise
         except Exception:

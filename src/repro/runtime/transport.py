@@ -162,6 +162,24 @@ class TcpMesh(Instrumented):
     def connected_peers(self) -> Tuple[int, ...]:
         return tuple(sorted(self._writers))
 
+    def queue_depths(self) -> Dict[str, int]:
+        """Instantaneous transport backpressure for the profiler (see
+        ``repro.obs.prof``): bytes sitting in kernel/asyncio write buffers
+        across all live peer connections, plus the reconnect backlog —
+        peers we should be connected to but aren't (each has a dial loop
+        backing off)."""
+        write_bytes = 0
+        for writer in self._writers.values():
+            transport = writer.transport
+            if transport is not None:
+                write_bytes += transport.get_write_buffer_size()
+        return {
+            "tcp_write": write_bytes,
+            "tcp_reconnect": sum(1 for pid in self._peers
+                                 if pid != self._pid
+                                 and pid not in self._writers),
+        }
+
     # ------------------------------------------------------------------
 
     async def _handle_inbound(self, reader: asyncio.StreamReader,

@@ -49,7 +49,8 @@ class EventQueue:
     speed, and only the queue itself should write them.
     """
 
-    __slots__ = ("_heap", "_seq", "now", "processed", "_max_events")
+    __slots__ = ("_heap", "_seq", "now", "processed", "_max_events",
+                 "bulk_drains", "limit_hits")
 
     def __init__(self, max_events: Optional[int] = None):
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
@@ -57,6 +58,12 @@ class EventQueue:
         self.now = 0.0
         self.processed = 0
         self._max_events = max_events
+        #: Times the sort-and-scan bulk path engaged (a backlog signal —
+        #: the queue only takes it past :data:`_BULK_DRAIN_MIN` pending).
+        self.bulk_drains = 0
+        #: Times the event budget was exhausted (drain-budget exhaustion;
+        #: each one raised :class:`SimulationLimitError`).
+        self.limit_hits = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -106,6 +113,7 @@ class EventQueue:
                         self.now = at
                         processed += 1
                         if processed > limit:
+                            self.limit_hits += 1
                             raise SimulationLimitError(
                                 f"exceeded event budget of {limit}"
                             )
@@ -127,6 +135,7 @@ class EventQueue:
         """
         snapshot = self._heap
         snapshot.sort()
+        self.bulk_drains += 1
         side = self._heap = []
         processed = self.processed
         limit = self._max_events
@@ -143,6 +152,7 @@ class EventQueue:
                     self.now = s_at
                     processed += 1
                     if limit is not None and processed > limit:
+                        self.limit_hits += 1
                         raise SimulationLimitError(
                             f"exceeded event budget of {limit}"
                         )
@@ -151,6 +161,7 @@ class EventQueue:
                 self.now = at
                 processed += 1
                 if limit is not None and processed > limit:
+                    self.limit_hits += 1
                     raise SimulationLimitError(
                         f"exceeded event budget of {limit}"
                     )

@@ -121,6 +121,10 @@ class SimNetwork(Instrumented):
         self.messages_dropped = 0
         self.messages_duplicated = 0
         self.messages_reordered = 0
+        #: Messages scheduled for delivery but not yet delivered/dropped
+        #: (duplicates count twice). Kept always-on — two int ops per
+        #: message either way keeps digests trivially identical on/off.
+        self._in_flight = 0
         #: Runtime-mutable copies of the loss/dup/reorder knobs so a chaos
         #: schedule can switch bursts on and off mid-run.
         self._loss_rate = params.loss_rate
@@ -132,6 +136,11 @@ class SimNetwork(Instrumented):
     def now(self) -> float:
         """Current virtual time in ms (the event queue's clock)."""
         return self._queue.now
+
+    @property
+    def in_flight(self) -> int:
+        """Messages currently scheduled but not yet delivered or dropped."""
+        return self._in_flight
 
     # -- wiring -------------------------------------------------------------
 
@@ -332,6 +341,7 @@ class SimNetwork(Instrumented):
             arrival += rng.random() * self._reorder_window_ms
         else:
             self._last_delivery[key] = arrival
+        self._in_flight += 1
         queue.schedule(arrival, lambda: self._try_deliver(src, dst, msg))
         if self._duplicate_rate > 0.0 and rng is not None \
                 and rng.random() < self._duplicate_rate:
@@ -342,6 +352,7 @@ class SimNetwork(Instrumented):
                 self._obs.counter("repro_messages_duplicated_total",
                                   src=src).inc()
             copy_at = arrival + rng.random() * max(lat, 0.1)
+            self._in_flight += 1
             queue.schedule(
                 copy_at, lambda: self._try_deliver(src, dst, msg)
             )
@@ -358,6 +369,7 @@ class SimNetwork(Instrumented):
             self.drop_callback(self._queue.now, src, dst, msg, reason)
 
     def _try_deliver(self, src: int, dst: int, msg: Any) -> None:
+        self._in_flight -= 1
         # A message in flight when the link was cut is lost (the TCP session
         # breaks); check connectivity again at delivery time.
         if not self.is_up(src, dst):

@@ -97,6 +97,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
     }
     for name, ratio in sorted(comparison["speedup"].items()):
         print(f"{name:<24s} {ratio:5.2f}x")
+    for name, entry in sorted(comparison.get("phase_attribution",
+                                             {}).items()):
+        for phase, delta in entry["phases"].items():
+            if delta["verdict"] == "unchanged":
+                continue
+            print(f"{name}: phase {phase} {delta['verdict']} "
+                  f"({delta['before_mean_ms']:g} -> "
+                  f"{delta['after_mean_ms']:g} ms, "
+                  f"{delta['change']:+.1%})")
+        dominant = entry.get("dominant_regressed_phase")
+        if dominant:
+            print(f"{name}: dominant regressed phase: {dominant}")
     if comparison["behaviour_identical"]:
         print("behaviour check OK: deterministic counters and decided-log "
               "digests identical before/after")

@@ -1,6 +1,6 @@
 """CLI: summarize and reconstruct exported observability streams.
 
-``repro-obs`` has four subcommands over a JSON-lines export (see
+``repro-obs`` has six subcommands over a JSON-lines export (see
 :class:`repro.obs.exporters.JsonLinesSink`)::
 
     repro-obs report run.jsonl --window-ms 5000     # paper-style summary
@@ -8,12 +8,15 @@
     repro-obs spans run.jsonl --kind commit         # reconstructed spans
     repro-obs watch run.jsonl --at-ms 3000          # health dashboard
     repro-obs watch --demo quorum-loss              # live partitioned sim
+    repro-obs series run.jsonl --window-ms 250      # sparkline lanes
+    repro-obs diff a.jsonl b.jsonl                  # regression verdicts
 
 The bare legacy form ``repro-obs run.jsonl`` still works and means
 ``report``. The numbers match the harness's own trackers exactly: both
 the report and the timeline feed the exported ``ClientReplyDecided``
 timestamps through the same :class:`~repro.sim.metrics.DecidedTracker`
-the benchmarks use.
+the benchmarks use. ``diff`` exits non-zero when any metric family
+regressed, so it gates CI directly.
 """
 
 from __future__ import annotations
@@ -24,11 +27,13 @@ import sys
 from repro.errors import ConfigError
 from repro.obs.exporters import read_jsonl
 from repro.obs.report import summarize_run
+from repro.obs.series import (diff_series, render_diff, series_from_events,
+                              series_lanes)
 from repro.obs.spans import SPAN_KINDS, assemble_spans
 from repro.obs.timeline import render_spans, render_timeline
 from repro.obs.watch import DEMO_SCENARIOS, watch_demo, watch_export
 
-COMMANDS = ("report", "timeline", "spans", "watch")
+COMMANDS = ("report", "timeline", "spans", "watch", "series", "diff")
 
 
 def _add_window_args(parser: argparse.ArgumentParser) -> None:
@@ -91,6 +96,29 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--election-timeout-ms", type=float, default=100.0,
                        help="demo election timeout")
     watch.add_argument("--seed", type=int, default=0, help="demo seed")
+
+    series = sub.add_parser(
+        "series", help="windowed time series as sparkline lanes "
+                       "(throughput, commit percentiles, queue backlog)")
+    series.add_argument("path", help="path to the .jsonl export")
+    series.add_argument("--window-ms", type=float, default=250.0,
+                        help="window width (must match across runs "
+                             "you intend to diff)")
+    series.add_argument("--family", action="append", default=None,
+                        help="only these metric families (repeatable; "
+                             "default: an automatic selection)")
+
+    diff = sub.add_parser(
+        "diff", help="align two exports window-by-window and judge every "
+                     "metric family (regressed/improved/unchanged); exits "
+                     "non-zero on any regression")
+    diff.add_argument("before", help="baseline .jsonl export")
+    diff.add_argument("after", help="candidate .jsonl export")
+    diff.add_argument("--window-ms", type=float, default=250.0,
+                      help="window width used to build both series")
+    diff.add_argument("--threshold", type=float, default=0.10,
+                      help="relative change beyond which a family's mean "
+                           "counts as regressed/improved")
     return parser
 
 
@@ -206,6 +234,51 @@ def _cmd_watch(args) -> int:
     return 0
 
 
+def _cmd_series(args) -> int:
+    if args.window_ms <= 0:
+        print("--window-ms must be positive", file=sys.stderr)
+        return 2
+    loaded = _load(args.path)
+    if loaded is None:
+        return 1
+    events, _metrics = loaded
+    if not events:
+        print(f"{args.path}: no events found", file=sys.stderr)
+        return 1
+    windows = series_from_events(events, window_ms=args.window_ms)
+    if not windows:
+        print(f"{args.path}: not enough history for one "
+              f"{args.window_ms:g} ms window", file=sys.stderr)
+        return 1
+    print(f"{len(windows)} windows x {args.window_ms:g} ms "
+          f"[{windows[0].start_ms:.0f} .. {windows[-1].end_ms:.0f} ms]")
+    for line in series_lanes(windows, families=args.family):
+        print(line)
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    if args.window_ms <= 0:
+        print("--window-ms must be positive", file=sys.stderr)
+        return 2
+    series = []
+    for path in (args.before, args.after):
+        loaded = _load(path)
+        if loaded is None:
+            return 1
+        events, _metrics = loaded
+        windows = series_from_events(events, window_ms=args.window_ms)
+        if not windows:
+            print(f"{path}: not enough history for one "
+                  f"{args.window_ms:g} ms window", file=sys.stderr)
+            return 1
+        series.append(windows)
+    diff = diff_series(series[0], series[1], threshold=args.threshold)
+    for line in render_diff(diff):
+        print(line)
+    return 1 if diff.verdict == "regressed" else 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -223,6 +296,8 @@ def main(argv=None) -> int:
         "timeline": _cmd_timeline,
         "spans": _cmd_spans,
         "watch": _cmd_watch,
+        "series": _cmd_series,
+        "diff": _cmd_diff,
     }[args.command]
     return handler(args)
 

@@ -103,6 +103,50 @@ class TestFlightRecorder:
         with pytest.raises(ConfigError):
             FlightRecorder(capacity=0)
 
+    def test_depth_lane_separates_queue_samples(self):
+        from repro.obs.events import QueueDepthSampled
+        from repro.obs.flight import DEPTH_LANE
+        rec = FlightRecorder(capacity=4)
+        rec.record(_view_record(1, 1.0))
+        rec.record(EventRecord(at_ms=2.0, event=QueueDepthSampled(
+            queue="sp_outbox", depth=5, pid=1)))
+        rec.record(EventRecord(at_ms=3.0, event=QueueDepthSampled(
+            queue="sim_events", depth=2, pid=None)))
+        # Depth samples ride their own lane — they never evict a server's
+        # protocol history, even though one carries pid=1 (and the global
+        # lane stays empty: pid=None depth samples go to the depth lane).
+        assert rec.lanes() == [1, DEPTH_LANE]
+        assert len(rec.lane(1)) == 1
+        assert [r.event.queue for r in rec.lane(DEPTH_LANE)] == \
+            ["sp_outbox", "sim_events"]
+        # dump() interleaves depth samples into the time-ordered stream.
+        assert [r.at_ms for r in rec.dump()] == [1.0, 2.0, 3.0]
+        # And the lane evicts independently at its own capacity.
+        for i in range(10):
+            rec.record(EventRecord(at_ms=10.0 + i, event=QueueDepthSampled(
+                queue="sp_outbox", depth=i, pid=1)))
+        assert len(rec.lane(DEPTH_LANE)) == 4
+        assert len(rec.lane(1)) == 1
+        assert rec.as_dict()["lanes"][DEPTH_LANE] == 4
+        rec.clear()
+        assert len(rec) == 0 and rec.lanes() == []
+
+    def test_timeline_renders_backlog_lane(self):
+        from repro.obs.events import QueueDepthSampled
+        from repro.obs.timeline import render_timeline
+        events = [_view_record(1, float(t)) for t in (0, 500, 1000)]
+        for at, depth in ((100.0, 1), (600.0, 12), (900.0, 3)):
+            events.append(EventRecord(at_ms=at, event=QueueDepthSampled(
+                queue="sp_outbox", depth=depth, pid=1)))
+        events.sort(key=lambda r: r.at_ms)
+        out = render_timeline(events, width=30)
+        assert "backlog" in out
+        assert "peak backlog: 12 (sp_outbox s1 @ 600.0 ms)" in out
+        # No depth samples -> no backlog lane, rest of the render intact.
+        plain = render_timeline(
+            [_view_record(1, float(t)) for t in (0, 500, 1000)], width=30)
+        assert "backlog" not in plain
+
     def test_registry_sink_integration(self):
         reg = MetricsRegistry()
         rec = FlightRecorder(capacity=4)

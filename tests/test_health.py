@@ -278,6 +278,56 @@ class TestGrayFailureInSim:
         truth = ground_truth_from_network(sim.network, list(sim.pids))
         assert matrix_disagreements(monitor.matrix, truth, sim.now) == []
 
+    def test_inflated_link_rtt_trips_rtt_lens_only(self):
+        """Satellite acceptance: a 50x-inflated link RTT flips the RTT lens
+        (``PeerDegraded(reason="rtt")``) on both ends of the link while
+        heartbeat liveness stays green — the inflated round trip (20 ms)
+        still lands well inside the 50 ms beacon period, so the interval
+        lens and every fail-stop detector see a healthy cluster."""
+        sim, servers, sink, monitor = _observed_cluster(3)
+        leader = run_until_leader(sim)
+        a, b = [p for p in sim.pids if p != leader]
+        # Establish the healthy RTT baseline (LAN 0.1 ms one-way, floored
+        # to the detector's 5 ms noise floor).
+        sim.run_for(2_000.0)
+        inflated_at = sim.now
+        # 50x the healthy round trip: 0.2 ms -> 10 ms one-way = 20 ms RTT,
+        # ratio 20/5 = 4 over the floored baseline (threshold 3).
+        sim.network.set_latency(a, b, 10.0)
+        sim.run_for(6_000.0)
+
+        degraded = [r.event for r in sink.by_kind("PeerDegraded")
+                    if r.at_ms >= inflated_at]
+        # Both ends of the slow link flag their peer, via the RTT lens.
+        assert {(e.pid, e.peer) for e in degraded} == {(a, b), (b, a)}
+        assert all(e.reason == "rtt" for e in degraded)
+        assert servers[a].gray_detector.degraded_peers() == (b,)
+        assert servers[b].gray_detector.degraded_peers() == (a,)
+        # The leader's links are untouched: nobody flags it, it flags
+        # nobody.
+        assert servers[leader].gray_detector.degraded_peers() == ()
+
+        # Heartbeat liveness stays green: beacons keep cadence, so no
+        # crash/partition/session signal fires and the believed matrix
+        # still matches the fully-connected truth.
+        assert not sim.is_crashed(a) and not sim.is_crashed(b)
+        assert sim.network.down_links() == ()
+        assert not [r for r in sink.by_kind("SessionDropped")
+                    if r.at_ms >= inflated_at]
+        assert monitor.matrix.believes_up(a, b) is True
+        assert monitor.matrix.believes_up(b, a) is True
+        assert sim.leaders() == [leader]
+        truth = ground_truth_from_network(sim.network, list(sim.pids))
+        assert matrix_disagreements(monitor.matrix, truth, sim.now) == []
+
+        # Restoring the link clears the flag through PeerRecovered.
+        sim.network.clear_latency(a, b)
+        sim.run_for(6_000.0)
+        recovered = [r.event for r in sink.by_kind("PeerRecovered")
+                     if r.at_ms >= inflated_at]
+        assert {(e.pid, e.peer) for e in recovered} >= {(a, b), (b, a)}
+        assert monitor.degraded_pairs() == []
+
     def test_restored_leader_recovers(self):
         sim, servers, sink, monitor = _observed_cluster(3)
         leader = run_until_leader(sim)

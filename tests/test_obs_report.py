@@ -122,3 +122,38 @@ class TestCli:
         path, _result = exported_run
         assert obs_report_main([path, "--window-ms", "0"]) == 2
         assert "--window-ms must be positive" in capsys.readouterr().err
+
+
+class TestSeriesAndDiffCli:
+    def test_series_renders_sparkline_lanes(self, exported_run, capsys):
+        path, _result = exported_run
+        assert obs_report_main(["series", path, "--window-ms", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "windows x 500 ms" in out
+        assert "decided_per_s" in out
+
+    def test_series_family_filter(self, exported_run, capsys):
+        path, _result = exported_run
+        assert obs_report_main(["series", path, "--window-ms", "500",
+                                "--family", "decided_per_s"]) == 0
+        out = capsys.readouterr().out
+        assert "decided_per_s" in out
+
+    def test_diff_same_export_unchanged_exit_zero(self, exported_run,
+                                                  capsys):
+        path, _result = exported_run
+        assert obs_report_main(["diff", path, path,
+                                "--window-ms", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: unchanged" in out
+
+    def test_diff_missing_file_exits_nonzero(self, exported_run, tmp_path,
+                                             capsys):
+        path, _result = exported_run
+        assert obs_report_main(
+            ["diff", path, str(tmp_path / "nope.jsonl")]) == 1
+
+    def test_diff_nonpositive_window_rejected(self, exported_run, capsys):
+        path, _result = exported_run
+        assert obs_report_main(
+            ["diff", path, path, "--window-ms", "0"]) == 2

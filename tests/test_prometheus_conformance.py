@@ -152,3 +152,80 @@ class TestHistogramInvariants:
         assert 'repro_inf{side="hi"} +Inf' in text
         assert 'repro_inf{side="lo"} -Inf' in text
         parse(text)  # and the grammar accepts them
+
+
+def validate_histogram_series(samples):
+    """Generic histogram check over *every* family and label set.
+
+    Groups ``_bucket`` samples by (family, labels-sans-le) and asserts, for
+    each series: exactly one ``+Inf`` bucket, last; strictly increasing
+    finite bounds; non-decreasing (cumulative) counts; and ``+Inf`` equal
+    to the series' ``_count``. Returns the number of series checked so
+    callers can assert coverage wasn't vacuous.
+    """
+    series = {}
+    counts = {}
+    for name, labels, value in samples:
+        if name.endswith("_bucket"):
+            family = name[: -len("_bucket")]
+            key = (family, tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le")))
+            series.setdefault(key, []).append((labels["le"], value))
+        elif name.endswith("_count"):
+            family = name[: -len("_count")]
+            counts[(family, tuple(sorted(labels.items())))] = value
+    for (family, label_key), buckets in series.items():
+        where = f"{family}{dict(label_key)}"
+        les = [le for le, _ in buckets]
+        assert les.count("+Inf") == 1, f"{where}: want one +Inf bucket"
+        assert les[-1] == "+Inf", f"{where}: +Inf must come last"
+        finite = [float(le) for le in les[:-1]]
+        assert finite == sorted(finite), f"{where}: bounds out of order"
+        assert len(set(finite)) == len(finite), f"{where}: duplicate bound"
+        values = [v for _, v in buckets]
+        assert values == sorted(values), \
+            f"{where}: buckets not cumulative: {values}"
+        assert values[-1] == counts[(family, label_key)], \
+            f"{where}: +Inf bucket != _count"
+    return len(series)
+
+
+class TestAllFamiliesMonotone:
+    """Bucket monotonicity must hold for every family, not one exemplar."""
+
+    def test_synthetic_multifamily_multilabel(self):
+        reg = populated_registry()
+        other = reg.histogram("repro_commit_phase_ms", phase="apply")
+        for v in (0.1, 7.0, 7.0):
+            other.observe(v)
+        reg.histogram("repro_heartbeat_rtt_ms", pid=1, peer=2).observe(0.4)
+        reg.histogram("repro_empty_ms", pid=9)  # zero observations
+        _, samples = parse(render_prometheus(reg))
+        checked = validate_histogram_series(samples)
+        assert checked >= 4  # two phase label sets + rtt + empty
+
+    def test_live_instrumented_run_all_families(self):
+        """A real traced run with the series engine attached: every
+        histogram family the stack produces must render monotone, and the
+        new queue-depth / series-window gauge families must be present."""
+        from repro.sim.harness import ExperimentConfig, build_experiment
+
+        reg = MetricsRegistry()
+        reg.enable_tracing()
+        exp = build_experiment(
+            ExperimentConfig(protocol="omni", num_servers=3,
+                             election_timeout_ms=100.0, one_way_ms=0.5,
+                             seed=3, initial_leader=1),
+            obs=reg)
+        exp.attach_series(window_ms=100.0)
+        exp.make_client(4)
+        exp.cluster.run_for(1_500.0)
+        types, samples = parse(render_prometheus(reg))
+        checked = validate_histogram_series(samples)
+        assert checked >= 2  # at least commit latency + rtt histograms
+        assert types["repro_queue_depth"] == "gauge"
+        assert types["repro_series_window"] == "gauge"
+        depth_queues = {labels["queue"] for name, labels, _ in samples
+                        if name == "repro_queue_depth"}
+        assert "sim_events" in depth_queues
+        assert "net_in_flight" in depth_queues
