@@ -93,11 +93,18 @@ class _ChaosRun:
             else max(schedule.election_timeout_ms, 50.0)
         )
         self.faulty: Dict[int, FaultyStorage] = {}
+        latency_map: Dict[Any, float] = {}
+        if schedule.geo is not None:
+            from repro.sim.geo import geo_latency_map
+            latency_map = geo_latency_map(
+                tuple(range(1, schedule.num_servers + 1)), schedule.geo
+            )
         self.cfg = ExperimentConfig(
             protocol=schedule.protocol,
             num_servers=schedule.num_servers,
             election_timeout_ms=schedule.election_timeout_ms,
             one_way_ms=schedule.one_way_ms,
+            latency_map=latency_map,
             seed=schedule.seed,
             storage_wrapper=(
                 self._wrap_storage if schedule.protocol == "omni" else None
@@ -115,8 +122,13 @@ class _ChaosRun:
         self.tracker = MonotonicityTracker()
         #: Cross-time round -> leader map for protocols exposing ``term``.
         self._term_leaders: Dict[Any, int] = {}
-        #: Links given a latency override, so the final heal can clear them.
-        self._spiked_links: List[List[int]] = []
+        #: Symmetric links whose latency a spike changed, with the override
+        #: in force *before* the first spike (None = rode the default), so
+        #: reverts restore the configured environment — e.g. a geo latency
+        #: map — instead of clearing it.
+        self._spiked_prev: Dict[tuple, Optional[float]] = {}
+        #: Same for directed (slow_link) overrides.
+        self._slowed_prev: Dict[tuple, Optional[float]] = {}
         self.white_violation: Optional[str] = None
         self.white_violation_at: Optional[float] = None
         self.ops_applied = 0
@@ -125,6 +137,13 @@ class _ChaosRun:
 
     def _wrap_storage(self, pid: int, storage) -> FaultyStorage:
         fs = FaultyStorage(storage)
+        # Wire the fail-slow hook unconditionally (including the fresh
+        # storage of a wipe-restart): a slow write stalls the owner's next
+        # timer tick, the sim model of an event loop stuck in fsync.
+        # Message delivery stays prompt — that is what keeps it gray.
+        fs.on_write_stall = (
+            lambda ms, _pid=pid: self.cluster.add_tick_stall(_pid, ms)
+        )
         self.faulty[pid] = fs
         return fs
 
@@ -180,14 +199,20 @@ class _ChaosRun:
             links = [list(map(int, link)) for link in p["links"]]
             self._emit(kind, "apply", f"{len(links)} links", describe_op(op))
             net = self.cluster.network
+            prev: Dict[tuple, Optional[float]] = {}
             for a, b in links:
+                key = (min(a, b), max(a, b))
+                prev[key] = net.latency_override(a, b)
+                self._spiked_prev.setdefault(key, prev[key])
                 net.set_latency(a, b, net.latency(a, b) + float(p["extra_ms"]))
-                self._spiked_links.append([a, b])
 
             def clear() -> None:
                 self._emit(kind, "revert", f"{len(links)} links")
-                for a, b in links:
-                    net.clear_latency(a, b)
+                for (a, b), before in prev.items():
+                    if before is None:
+                        net.clear_latency(a, b)
+                    else:
+                        net.set_latency(a, b, before)
 
             queue.schedule_in(float(p["duration_ms"]), clear)
         elif kind == "loss_burst":
@@ -239,12 +264,73 @@ class _ChaosRun:
         elif kind == "clock_skew":
             pid = int(p["pid"])
             self._emit(kind, "apply", str(pid), describe_op(op))
-            self.cluster.set_tick_scale(pid, float(p["factor"]))
+            # Layered, not absolute: two skews (or a skew and a slow_cpu)
+            # stacked on one pid compose multiplicatively and each revert
+            # removes exactly its own layer, whatever the revert order.
+            handle = self.cluster.push_tick_scale(pid, float(p["factor"]))
             queue.schedule_in(
                 float(p["duration_ms"]),
                 lambda: (self._emit(kind, "revert", str(pid)),
-                         self.cluster.set_tick_scale(pid, 1.0)),
+                         self.cluster.pop_tick_scale(pid, handle)),
             )
+        elif kind == "slow_cpu":
+            pid = int(p["pid"])
+            per_msg = float(p["per_msg_ms"])
+            self._emit(kind, "apply", str(pid), describe_op(op))
+            handle = self.cluster.push_tick_scale(pid, float(p["factor"]))
+            self.cluster.set_msg_cost(
+                pid, self.cluster.msg_cost_of(pid) + per_msg
+            )
+
+            def recover_cpu() -> None:
+                self._emit(kind, "revert", str(pid))
+                self.cluster.pop_tick_scale(pid, handle)
+                self.cluster.set_msg_cost(
+                    pid, max(0.0, self.cluster.msg_cost_of(pid) - per_msg)
+                )
+
+            queue.schedule_in(float(p["duration_ms"]), recover_cpu)
+        elif kind == "slow_disk":
+            pid = int(p["pid"])
+            fs = self.faulty.get(pid)
+            if fs is None:
+                # Baselines keep their logs in plain lists: nothing to slow.
+                self._emit(kind, "apply", str(pid), "unsupported protocol")
+                return
+            self._emit(kind, "apply", str(pid), describe_op(op))
+            fs.slow_writes(float(p["per_write_ms"]))
+
+            def recover_disk() -> None:
+                self._emit(kind, "revert", str(pid))
+                # Heal whichever FaultyStorage now serves the pid (a wipe
+                # restart may have swapped it since we armed the old one).
+                current = self.faulty.get(pid)
+                if current is not None:
+                    current.slow_writes(0.0)
+                if current is not fs:
+                    fs.slow_writes(0.0)
+                self.cluster.clear_tick_stall(pid)
+
+            queue.schedule_in(float(p["duration_ms"]), recover_disk)
+        elif kind == "slow_link":
+            src, dst = int(p["src"]), int(p["dst"])
+            net = self.cluster.network
+            self._emit(kind, "apply", f"{src}->{dst}", describe_op(op))
+            before = net.directed_latency_override(src, dst)
+            self._slowed_prev.setdefault((src, dst), before)
+            net.set_latency_directed(
+                src, dst,
+                net.effective_latency(src, dst) + float(p["inflate_ms"]),
+            )
+
+            def recover_link() -> None:
+                self._emit(kind, "revert", f"{src}->{dst}")
+                if before is None:
+                    net.clear_latency_directed(src, dst)
+                else:
+                    net.set_latency_directed(src, dst, before)
+
+            queue.schedule_in(float(p["duration_ms"]), recover_link)
         else:  # pragma: no cover - schedule validation rejects unknown kinds
             raise ReproError(f"unhandled fault kind {kind!r}")
 
@@ -323,12 +409,25 @@ class _ChaosRun:
         net.set_loss(0.0)
         net.set_duplication(0.0)
         net.set_reordering(0.0, 0.0)
-        for a, b in self._spiked_links:
-            net.clear_latency(a, b)
+        # Restore — not clear — the latency overrides the faults touched:
+        # the pre-fault value may be a configured geo environment, and the
+        # cooldown must run in that environment, not a flattened LAN.
+        for (a, b), before in self._spiked_prev.items():
+            if before is None:
+                net.clear_latency(a, b)
+            else:
+                net.set_latency(a, b, before)
+        for (src, dst), before in self._slowed_prev.items():
+            if before is None:
+                net.clear_latency_directed(src, dst)
+            else:
+                net.set_latency_directed(src, dst, before)
         for fs in self.faulty.values():
             fs.heal()
         for pid in self.cluster.pids:
             self.cluster.set_tick_scale(pid, 1.0)
+            self.cluster.set_msg_cost(pid, 0.0)
+            self.cluster.clear_tick_stall(pid)
             if self.cluster.is_crashed(pid):
                 self.cluster.recover(pid)
 

@@ -20,8 +20,11 @@ from repro.errors import ConfigError
 from repro.sim.harness import PROTOCOLS
 from repro.util.rng import spawn_rng
 
-#: Relative draw weights per fault kind (storage_fault is omni-only and
-#: appended there; wipe is a low-probability variant of crash).
+#: Relative draw weights per fault kind (storage_fault and slow_disk are
+#: omni-only and appended there; wipe is a low-probability variant of
+#: crash). The fail-slow kinds (slow_cpu/slow_link; slow_disk for omni)
+#: are first-class members of the mix, so seeded compound schedules
+#: routinely combine gray failures with crashes and partitions.
 _WEIGHTS: Tuple[Tuple[str, float], ...] = (
     ("partition", 3.0),
     ("crash", 2.0),
@@ -30,6 +33,8 @@ _WEIGHTS: Tuple[Tuple[str, float], ...] = (
     ("dup_burst", 1.0),
     ("reorder_burst", 1.0),
     ("clock_skew", 1.0),
+    ("slow_cpu", 1.0),
+    ("slow_link", 1.0),
 )
 
 
@@ -79,12 +84,16 @@ def generate_schedule(
     election_timeout_ms: float = 100.0,
     allow_wipe: bool = False,
     allow_storage_faults: Optional[bool] = None,
+    geo: Optional[str] = None,
 ) -> ChaosSchedule:
     """Generate a deterministic fault schedule for ``seed``.
 
     Ops land in the first ~3/4 of the run so every schedule ends with a
     fault-free tail; the engine adds a healed cooldown on top before the
-    final invariant sweep.
+    final invariant sweep. ``geo`` names a latency map from
+    :data:`repro.sim.geo.GEO_MAPS` to run the whole schedule in a
+    geo-replicated environment (it is recorded in the schedule, so
+    replays reproduce it).
     """
     if protocol not in PROTOCOLS:
         raise ConfigError(
@@ -100,6 +109,12 @@ def generate_schedule(
         allow_storage_faults = protocol == "omni"
     if allow_storage_faults and protocol == "omni":
         weights.append(("storage_fault", 1.0))
+    if protocol == "omni":
+        # slow_disk rides the FaultyStorage wrapper, which only the omni
+        # build wires (baselines keep their logs in plain lists). Unlike
+        # storage_fault it never violates the fail-recovery model, so it
+        # is not gated behind allow_storage_faults.
+        weights.append(("slow_disk", 1.0))
 
     times = sorted(
         round(rng.uniform(0.05, 0.75) * duration_ms, 3)
@@ -154,6 +169,29 @@ def generate_schedule(
                 "mode": "torn" if rng.random() < 0.3 else "fail",
                 "heal_ms": round(rng.uniform(3.0, 10.0) * et, 3),
             }
+        elif kind == "slow_cpu":
+            params = {
+                "pid": rng.choice(list(pids)),
+                # The fail-slow regime the gray-failure literature cares
+                # about: order(s)-of-magnitude slow, not mildly skewed.
+                "factor": float(rng.choice([10.0, 25.0, 50.0, 100.0])),
+                "per_msg_ms": round(rng.uniform(0.2, 2.0), 3),
+                "duration_ms": round(rng.uniform(4.0, 12.0) * et, 3),
+            }
+        elif kind == "slow_disk":
+            params = {
+                "pid": rng.choice(list(pids)),
+                "per_write_ms": round(rng.uniform(0.2, 2.0), 3),
+                "duration_ms": round(rng.uniform(4.0, 12.0) * et, 3),
+            }
+        elif kind == "slow_link":
+            src, dst = rng.sample(list(pids), 2)
+            params = {
+                "src": src,
+                "dst": dst,
+                "inflate_ms": round(rng.uniform(0.5, 4.0) * et, 3),
+                "duration_ms": round(rng.uniform(2.0, 8.0) * et, 3),
+            }
         else:  # clock_skew
             params = {
                 "pid": rng.choice(list(pids)),
@@ -169,4 +207,5 @@ def generate_schedule(
         duration_ms=duration_ms,
         ops=tuple(ops),
         election_timeout_ms=election_timeout_ms,
+        geo=geo,
     )

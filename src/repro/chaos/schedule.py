@@ -19,7 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 
@@ -43,6 +43,18 @@ OP_PARAMS: Dict[str, Tuple[str, ...]] = {
     "storage_fault": ("pid", "after_writes", "mode", "heal_ms"),
     # Stretch pid's timer-check interval by factor for duration_ms.
     "clock_skew": ("pid", "factor", "duration_ms"),
+    # Fail-slow CPU: stretch pid's timer interval by factor AND charge
+    # per_msg_ms of serialized CPU time per inbound message. The node stays
+    # alive and answers everything — late. Gray failure, not a crash.
+    "slow_cpu": ("pid", "factor", "per_msg_ms", "duration_ms"),
+    # Fail-slow disk: every write on pid's storage succeeds but stalls the
+    # event loop per_write_ms (a blocked fsync). Omni only (baselines keep
+    # their logs in plain lists).
+    "slow_disk": ("pid", "per_write_ms", "duration_ms"),
+    # Fail-slow link: inflate one-way latency src -> dst only (asymmetric);
+    # the return direction stays fast, so RTTs stretch while connectivity
+    # and heartbeat liveness stay green.
+    "slow_link": ("src", "dst", "inflate_ms", "duration_ms"),
 }
 
 KINDS: Tuple[str, ...] = tuple(OP_PARAMS)
@@ -89,6 +101,12 @@ class ChaosSchedule:
     election_timeout_ms: float = 100.0
     one_way_ms: float = 0.1
     concurrent_proposals: int = 4
+    #: Optional geo-replication environment: the name of a latency map in
+    #: :data:`repro.sim.geo.GEO_MAPS` (e.g. ``"regions3"``) applied to the
+    #: cluster for the whole run. Part of the schedule (it changes what the
+    #: run does), omitted from serialization when unset so every pre-geo
+    #: schedule digest is unchanged.
+    geo: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_servers < 1:
@@ -109,12 +127,13 @@ class ChaosSchedule:
             ops=kept, election_timeout_ms=self.election_timeout_ms,
             one_way_ms=self.one_way_ms,
             concurrent_proposals=self.concurrent_proposals,
+            geo=self.geo,
         )
 
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "seed": self.seed,
             "protocol": self.protocol,
             "num_servers": self.num_servers,
@@ -124,6 +143,9 @@ class ChaosSchedule:
             "concurrent_proposals": self.concurrent_proposals,
             "ops": [op.to_dict() for op in self.ops],
         }
+        if self.geo is not None:
+            data["geo"] = self.geo
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ChaosSchedule":
@@ -135,6 +157,7 @@ class ChaosSchedule:
             election_timeout_ms=float(data.get("election_timeout_ms", 100.0)),
             one_way_ms=float(data.get("one_way_ms", 0.1)),
             concurrent_proposals=int(data.get("concurrent_proposals", 4)),
+            geo=data.get("geo"),
             ops=tuple(FaultOp.from_dict(op) for op in data.get("ops", ())),
         )
 
@@ -152,25 +175,94 @@ class ChaosSchedule:
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
-def describe_op(op: FaultOp) -> str:
-    """One human line per op (CLI listings and nemesis events)."""
+def _desc_crash(op: FaultOp) -> str:
     p = op.params
-    if op.kind == "crash":
-        how = "wiped" if p.get("wipe") else "intact"
-        return (f"t={op.at_ms:.0f} crash pid={p['pid']} "
-                f"down={p['down_ms']:.0f}ms storage={how}")
-    if op.kind == "partition":
-        return (f"t={op.at_ms:.0f} partition {p['pattern']} "
-                f"links={len(p['links'])} heal={p['heal_ms']:.0f}ms")
-    if op.kind == "delay_spike":
-        return (f"t={op.at_ms:.0f} delay +{p['extra_ms']:.0f}ms on "
-                f"{len(p['links'])} links for {p['duration_ms']:.0f}ms")
-    if op.kind == "storage_fault":
-        return (f"t={op.at_ms:.0f} storage_fault pid={p['pid']} "
-                f"mode={p['mode']} after={p['after_writes']} writes")
-    if op.kind == "clock_skew":
-        return (f"t={op.at_ms:.0f} clock_skew pid={p['pid']} "
-                f"x{p['factor']:.2f} for {p['duration_ms']:.0f}ms")
-    rate = p.get("rate")
-    return (f"t={op.at_ms:.0f} {op.kind} rate={rate} "
+    how = "wiped" if p.get("wipe") else "intact"
+    return (f"crash pid={p['pid']} "
+            f"down={p['down_ms']:.0f}ms storage={how}")
+
+
+def _desc_partition(op: FaultOp) -> str:
+    p = op.params
+    return (f"partition {p['pattern']} "
+            f"links={len(p['links'])} heal={p['heal_ms']:.0f}ms")
+
+
+def _desc_delay_spike(op: FaultOp) -> str:
+    p = op.params
+    return (f"delay +{p['extra_ms']:.0f}ms on "
+            f"{len(p['links'])} links for {p['duration_ms']:.0f}ms")
+
+
+def _desc_rate_burst(op: FaultOp) -> str:
+    p = op.params
+    return (f"{op.kind} rate={p['rate']} "
             f"for {p['duration_ms']:.0f}ms")
+
+
+def _desc_storage_fault(op: FaultOp) -> str:
+    p = op.params
+    return (f"storage_fault pid={p['pid']} "
+            f"mode={p['mode']} after={p['after_writes']} writes")
+
+
+def _desc_clock_skew(op: FaultOp) -> str:
+    p = op.params
+    return (f"clock_skew pid={p['pid']} "
+            f"x{p['factor']:.2f} for {p['duration_ms']:.0f}ms")
+
+
+def _desc_slow_cpu(op: FaultOp) -> str:
+    p = op.params
+    return (f"slow_cpu pid={p['pid']} x{p['factor']:.0f} "
+            f"+{p['per_msg_ms']:.2f}ms/msg for {p['duration_ms']:.0f}ms")
+
+
+def _desc_slow_disk(op: FaultOp) -> str:
+    p = op.params
+    return (f"slow_disk pid={p['pid']} "
+            f"+{p['per_write_ms']:.2f}ms/write for {p['duration_ms']:.0f}ms")
+
+
+def _desc_slow_link(op: FaultOp) -> str:
+    p = op.params
+    return (f"slow_link {p['src']}->{p['dst']} "
+            f"+{p['inflate_ms']:.0f}ms for {p['duration_ms']:.0f}ms")
+
+
+#: Exhaustive per-kind describers. Keys must cover :data:`OP_PARAMS`
+#: exactly — adding a fault kind without a describer is a bug, caught at
+#: import time below rather than silently falling through at runtime.
+_DESCRIBERS: Dict[str, Callable[[FaultOp], str]] = {
+    "crash": _desc_crash,
+    "partition": _desc_partition,
+    "delay_spike": _desc_delay_spike,
+    "loss_burst": _desc_rate_burst,
+    "dup_burst": _desc_rate_burst,
+    "reorder_burst": _desc_rate_burst,
+    "storage_fault": _desc_storage_fault,
+    "clock_skew": _desc_clock_skew,
+    "slow_cpu": _desc_slow_cpu,
+    "slow_disk": _desc_slow_disk,
+    "slow_link": _desc_slow_link,
+}
+
+if set(_DESCRIBERS) != set(OP_PARAMS):  # pragma: no cover - import guard
+    raise AssertionError(
+        "describe_op coverage drifted from OP_PARAMS: "
+        f"missing={sorted(set(OP_PARAMS) - set(_DESCRIBERS))} "
+        f"extra={sorted(set(_DESCRIBERS) - set(OP_PARAMS))}"
+    )
+
+
+def describe_op(op: FaultOp) -> str:
+    """One human line per op (CLI listings and nemesis events).
+
+    Exhaustive over :data:`OP_PARAMS` — every registered kind has a
+    dedicated describer, and an op whose kind somehow escaped
+    registration fails loudly instead of printing a half-true generic
+    line."""
+    describer = _DESCRIBERS.get(op.kind)
+    if describer is None:
+        raise ConfigError(f"no describer for fault kind {op.kind!r}")
+    return f"t={op.at_ms:.0f} {describer(op)}"

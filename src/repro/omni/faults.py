@@ -16,7 +16,7 @@ lost; acked ones may not).
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence, Tuple
+from typing import Any, Callable, Optional, Sequence, Tuple
 
 from repro.errors import StorageError
 from repro.omni.ballot import Ballot
@@ -24,11 +24,19 @@ from repro.omni.storage import Storage
 
 
 class FaultyStorage(Storage):
-    """A storage decorator whose writes can be made to fail.
+    """A storage decorator whose writes can be made to fail — or limp.
 
     ``fail_after`` arms a countdown: that many more writes succeed, then
     every write raises :class:`StorageError` until :meth:`heal` is called.
     Reads always succeed (the medium is readable; appends are not).
+
+    ``slow_writes`` is the *fail-slow* mode (``slow_disk`` chaos fault):
+    writes keep succeeding but each one reports a service-time stall
+    through :attr:`on_write_stall` — the hook a driver (the sim cluster)
+    uses to charge the owning server's event loop for the blocked fsync.
+    A slow disk is deliberately not an error: the server stays alive and
+    heartbeat-reachable, which is exactly the gray failure that fail-stop
+    detectors miss.
     """
 
     #: Supported failure modes: ``"fail"`` rejects the whole write;
@@ -42,8 +50,14 @@ class FaultyStorage(Storage):
         self._failing = False
         self._mode = "fail"
         self._just_tripped = False
+        #: Fail-slow: per-write service time (ms); 0.0 = healthy disk.
+        self._slow_ms = 0.0
+        #: Called with the stall (ms) for every write while slow mode is
+        #: armed; wired by the driver that owns the clock.
+        self.on_write_stall: Optional[Callable[[float], None]] = None
         self.writes_attempted = 0
         self.writes_failed = 0
+        self.writes_slowed = 0
         self.entries_torn = 0
 
     # -- fault control ------------------------------------------------------
@@ -64,15 +78,33 @@ class FaultyStorage(Storage):
         # ``failing`` flag flips there — that write is the one that tears.
         self._failing = False
 
+    def slow_writes(self, per_write_ms: float) -> None:
+        """Arm (or, with ``0``, disarm) the fail-slow disk.
+
+        Every write from now on succeeds but stalls ``per_write_ms`` —
+        reported through :attr:`on_write_stall` so the owning server's
+        timer loop runs late. Independent of :meth:`fail_after`; both can
+        be armed at once (a disk can be slow *and* about to die).
+        """
+        if per_write_ms < 0:
+            raise ValueError("per_write_ms must be non-negative")
+        self._slow_ms = per_write_ms
+
     def heal(self) -> None:
-        """Stop failing writes."""
+        """Stop failing writes and restore full disk speed."""
         self._writes_until_failure = None
         self._failing = False
         self._mode = "fail"
+        self._slow_ms = 0.0
 
     @property
     def failing(self) -> bool:
         return self._failing
+
+    @property
+    def slow_ms(self) -> float:
+        """Current per-write stall (ms); 0.0 when the disk is healthy."""
+        return self._slow_ms
 
     def _advance_gate(self) -> bool:
         """Advance the countdown; True when this write must fail.
@@ -81,6 +113,10 @@ class FaultyStorage(Storage):
         that is the (only) write the torn mode tears.
         """
         self.writes_attempted += 1
+        if self._slow_ms > 0.0:
+            self.writes_slowed += 1
+            if self.on_write_stall is not None:
+                self.on_write_stall(self._slow_ms)
         self._just_tripped = False
         if self._writes_until_failure is not None and not self._failing:
             self._writes_until_failure -= 1

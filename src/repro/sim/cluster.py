@@ -38,10 +38,30 @@ class SimCluster:
         self._crashed: Set[int] = set()
         self._started = False
         self._decided_observers: List[DecidedObserver] = []
-        #: Per-server tick-interval multiplier (clock-skew injection): a
-        #: server with scale 2.0 checks its timers half as often, so its
-        #: election timeouts fire late relative to its peers.
+        #: Per-server *effective* tick-interval multiplier (what the tick
+        #: loop reads): base scale x the product of pushed layers. A server
+        #: with scale 2.0 checks its timers half as often, so its election
+        #: timeouts fire late relative to its peers.
         self._tick_scale: Dict[int, float] = {}
+        #: Absolute base scale per pid (:meth:`set_tick_scale`).
+        self._tick_base: Dict[int, float] = {}
+        #: Stacked multiplicative layers per pid: ``{pid: {handle: factor}}``
+        #: (:meth:`push_tick_scale` / :meth:`pop_tick_scale`). Keeping each
+        #: injection as its own layer lets ``clock_skew`` and ``slow_cpu``
+        #: target the same server and revert in any order without one
+        #: revert clobbering the other.
+        self._tick_layers: Dict[int, Dict[int, float]] = {}
+        self._tick_layer_seq = 0
+        #: One-shot extra delay (ms) added to a server's *next* tick — the
+        #: sim model of a disk stall blocking the timer loop (``slow_disk``).
+        self._tick_stall: Dict[int, float] = {}
+        #: Per-server CPU cost (ms) to process one inbound message. Empty in
+        #: the default model (message handling is instantaneous); a fail-slow
+        #: server serializes arrivals through a busy-until gate, so its
+        #: replies lag and its commit pipeline backs up while heartbeat-level
+        #: liveness stays green (the gray-failure signature).
+        self._msg_cost: Dict[int, float] = {}
+        self._cpu_free_at: Dict[int, float] = {}
         #: Servers crashed by a failed storage write (fail-recovery model).
         self.storage_crashes = 0
         network.on_deliver(self._deliver)
@@ -192,15 +212,107 @@ class SimCluster:
         slow clock polls its election/heartbeat deadlines less often, so
         they fire late relative to its peers. ``factor=1.0`` restores the
         nominal rate; takes effect from the next scheduled tick.
+
+        This is the *absolute* form: it sets the base scale and discards
+        any layers pushed with :meth:`push_tick_scale` (so healing a
+        cluster with ``set_tick_scale(pid, 1.0)`` really restores nominal
+        timing no matter what injections were stacked).
         """
         if pid not in self._replicas:
             raise ConfigError(f"unknown pid {pid}")
         if factor <= 0:
             raise ConfigError("tick scale factor must be positive")
+        self._tick_layers.pop(pid, None)
         if factor == 1.0:
+            self._tick_base.pop(pid, None)
+        else:
+            self._tick_base[pid] = factor
+        self._recompute_tick_scale(pid)
+
+    def push_tick_scale(self, pid: int, factor: float) -> int:
+        """Stack a multiplicative tick-scale layer on ``pid``; returns a
+        handle for :meth:`pop_tick_scale`.
+
+        Layers compose: ``clock_skew`` x2 stacked on ``slow_cpu`` x100
+        yields an effective x200 interval, and popping either layer (in any
+        order) leaves exactly the other in force — the revert-ordering
+        guarantee the self-reverting chaos ops rely on.
+        """
+        if pid not in self._replicas:
+            raise ConfigError(f"unknown pid {pid}")
+        if factor <= 0:
+            raise ConfigError("tick scale factor must be positive")
+        self._tick_layer_seq += 1
+        handle = self._tick_layer_seq
+        self._tick_layers.setdefault(pid, {})[handle] = factor
+        self._recompute_tick_scale(pid)
+        return handle
+
+    def pop_tick_scale(self, pid: int, handle: int) -> None:
+        """Remove one pushed layer (no-op if already gone — e.g. cleared
+        wholesale by a heal's ``set_tick_scale(pid, 1.0)``)."""
+        layers = self._tick_layers.get(pid)
+        if not layers:
+            return
+        layers.pop(handle, None)
+        if not layers:
+            self._tick_layers.pop(pid, None)
+        self._recompute_tick_scale(pid)
+
+    def tick_scale_of(self, pid: int) -> float:
+        """The effective tick-interval multiplier currently applied."""
+        return self._tick_scale.get(pid, 1.0)
+
+    def _recompute_tick_scale(self, pid: int) -> None:
+        scale = self._tick_base.get(pid, 1.0)
+        for factor in self._tick_layers.get(pid, {}).values():
+            scale *= factor
+        if scale == 1.0:
             self._tick_scale.pop(pid, None)
         else:
-            self._tick_scale[pid] = factor
+            self._tick_scale[pid] = scale
+
+    def add_tick_stall(self, pid: int, stall_ms: float) -> None:
+        """Delay ``pid``'s next timer tick by an extra ``stall_ms``.
+
+        The sim model of a blocking disk write (``slow_disk``): the event
+        loop is stuck in fsync, so timers are serviced late. Stalls
+        accumulate until the next tick consumes them; message *delivery*
+        is not affected (the network thread keeps draining), which is what
+        keeps the failure gray rather than fail-stop.
+        """
+        if pid not in self._replicas:
+            raise ConfigError(f"unknown pid {pid}")
+        if stall_ms < 0:
+            raise ConfigError("stall must be non-negative")
+        self._tick_stall[pid] = self._tick_stall.get(pid, 0.0) + stall_ms
+
+    def clear_tick_stall(self, pid: int) -> None:
+        """Drop any accumulated not-yet-consumed tick stall (heals use
+        this so a pending fsync backlog doesn't leak past the heal)."""
+        self._tick_stall.pop(pid, None)
+
+    def set_msg_cost(self, pid: int, per_msg_ms: float) -> None:
+        """Charge ``pid`` this much CPU time (ms) per inbound message.
+
+        ``0`` restores the default instantaneous handling. While set,
+        arrivals are serialized through a busy-until gate: a fail-slow CPU
+        still answers everything — late — so commit throughput through
+        that server sags while heartbeats keep it looking alive.
+        """
+        if pid not in self._replicas:
+            raise ConfigError(f"unknown pid {pid}")
+        if per_msg_ms < 0:
+            raise ConfigError("per-message cost must be non-negative")
+        if per_msg_ms == 0.0:
+            self._msg_cost.pop(pid, None)
+            self._cpu_free_at.pop(pid, None)
+        else:
+            self._msg_cost[pid] = per_msg_ms
+
+    def msg_cost_of(self, pid: int) -> float:
+        """The per-message CPU cost currently charged to ``pid`` (ms)."""
+        return self._msg_cost.get(pid, 0.0)
 
     # -- internals ---------------------------------------------------------------
 
@@ -233,12 +345,31 @@ class SimCluster:
                     else:
                         self._flush(pid)
                 interval = self._tick_ms * self._tick_scale.get(pid, 1.0)
+                if self._tick_stall:
+                    interval += self._tick_stall.pop(pid, 0.0)
                 self._queue.schedule_in(interval, tick)
 
         self._queue.schedule_in(self._tick_ms * self._tick_scale.get(pid, 1.0), tick)
 
     def _deliver(self, src: int, dst: int, msg: Any) -> None:
         # Hottest callback in the simulator: one call per delivered message.
+        # The empty-dict check keeps the default path one falsy test away
+        # from the historical behaviour (bit-identical schedules).
+        if self._msg_cost:
+            cost = self._msg_cost.get(dst)
+            if cost:
+                # Serialize through the slowed CPU: handling starts when
+                # the previous message finishes, and takes ``cost`` ms.
+                now = self._queue.now
+                done = max(now, self._cpu_free_at.get(dst, 0.0)) + cost
+                self._cpu_free_at[dst] = done
+                self._queue.schedule(
+                    done, lambda: self._deliver_now(src, dst, msg)
+                )
+                return
+        self._deliver_now(src, dst, msg)
+
+    def _deliver_now(self, src: int, dst: int, msg: Any) -> None:
         replica = self._replicas.get(dst)
         if replica is None or dst in self._crashed:
             return

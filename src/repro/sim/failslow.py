@@ -1,0 +1,229 @@
+"""Fig-8-style fail-slow leader experiments (gray failure, ROADMAP item 5).
+
+The paper's Figure 8 measures downtime under *partitions*; this module
+runs the same shape of experiment under the classic production failure the
+paper does not model: a **fail-slow leader** — alive, message-responsive,
+heartbeating, yet 100× slow on its timers and CPU. The run:
+
+1. builds a cluster with a seeded leader and warms it up under the
+   closed-loop workload,
+2. makes the leader fail-slow (tick scale ×``slow_factor`` plus a
+   serialized per-message CPU cost — the same knobs the chaos engine's
+   ``slow_cpu`` op uses),
+3. steps through the slow window watching for a *handover* (some healthy
+   server claiming leadership),
+4. restores the leader's speed and cools down.
+
+The interesting comparison is per protocol × ``gray_aware``: default
+heartbeat-based election (Omni BLE, Raft PV+CQ) never displaces a slow
+leader that still answers promptly, so throughput stays collapsed for the
+whole window; with ``gray_aware`` the leader scores *itself* degraded and
+abdicates within a few heartbeat rounds (:mod:`repro.obs.health`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.geo import geo_latency_map
+from repro.sim.harness import ExperimentConfig, build_experiment
+
+#: The seeded leader that goes fail-slow (matches scenarios.LEADER).
+SLOW_LEADER = 3
+
+
+@dataclass(frozen=True)
+class FailSlowResult:
+    """Measurements from one fail-slow leader run."""
+
+    protocol: str
+    gray_aware: bool
+    election_timeout_ms: float
+    slow_factor: float
+    slow_at_ms: float
+    slow_end_ms: float
+    #: Longest client-visible gap during the slow window (ms).
+    downtime_ms: float
+    #: Onset-to-first-decided-reply, or None if nothing decided at all.
+    recovery_ms: Optional[float]
+    decided_before_slow: int
+    decided_during_slow: int
+    decided_after_heal: int
+    #: When a *healthy* server first claimed leadership after onset (ms
+    #: since onset), or None if the slow leader held on throughout.
+    handover_ms: Optional[float]
+    #: Whether the slow leader stopped claiming leadership before heal.
+    abdicated: bool
+    leaders_at_end: Tuple[int, ...]
+    #: Decided replies per second before onset and during the window.
+    throughput_before_per_s: float
+    throughput_during_per_s: float
+
+    @property
+    def downtime_in_timeouts(self) -> float:
+        return self.downtime_ms / self.election_timeout_ms
+
+    @property
+    def throughput_dip(self) -> float:
+        """Fraction of pre-onset throughput lost during the slow window
+        (1.0 = fully stalled, 0.0 = unaffected)."""
+        if self.throughput_before_per_s <= 0:
+            return 0.0
+        return max(
+            0.0,
+            1.0 - self.throughput_during_per_s / self.throughput_before_per_s,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "gray_aware": self.gray_aware,
+            "election_timeout_ms": self.election_timeout_ms,
+            "slow_factor": self.slow_factor,
+            "downtime_ms": round(self.downtime_ms, 3),
+            "recovery_ms": (
+                None if self.recovery_ms is None
+                else round(self.recovery_ms, 3)
+            ),
+            "decided_during_slow": self.decided_during_slow,
+            "handover_ms": (
+                None if self.handover_ms is None
+                else round(self.handover_ms, 3)
+            ),
+            "abdicated": self.abdicated,
+            "throughput_before_per_s": round(self.throughput_before_per_s, 3),
+            "throughput_during_per_s": round(self.throughput_during_per_s, 3),
+            "throughput_dip": round(self.throughput_dip, 3),
+        }
+
+
+def run_failslow_scenario(
+    protocol: str,
+    gray_aware: bool = False,
+    election_timeout_ms: float = 100.0,
+    slow_factor: float = 100.0,
+    per_msg_ms: float = 5.0,
+    slow_duration_ms: Optional[float] = None,
+    warmup_ms: Optional[float] = None,
+    cooldown_ms: Optional[float] = None,
+    concurrent_proposals: int = 8,
+    seed: int = 0,
+    num_servers: int = 5,
+    geo: Optional[str] = None,
+    obs=None,
+) -> FailSlowResult:
+    """Run one fail-slow-leader cell and return its measurements.
+
+    ``geo`` names a latency map from :data:`repro.sim.geo.GEO_MAPS` to run
+    the experiment in a geo-replicated environment. ``obs`` is an optional
+    enabled :class:`~repro.obs.registry.MetricsRegistry`, through which
+    the run's events reach the series/timeline/flight tooling.
+    """
+    if slow_factor < 1.0:
+        raise ConfigError("slow_factor must be >= 1 (this is a slowdown)")
+    timeout = election_timeout_ms
+    if slow_duration_ms is None:
+        slow_duration_ms = max(40.0 * timeout, 4_000.0)
+    if warmup_ms is None:
+        warmup_ms = max(10.0 * timeout, 1_000.0)
+    if cooldown_ms is None:
+        cooldown_ms = max(10.0 * timeout, 1_000.0)
+    servers = tuple(range(1, num_servers + 1))
+    cfg = ExperimentConfig(
+        protocol=protocol,
+        num_servers=num_servers,
+        election_timeout_ms=timeout,
+        seed=seed,
+        initial_leader=SLOW_LEADER,
+        latency_map=geo_latency_map(servers, geo) if geo else {},
+        gray_aware=gray_aware,
+    )
+    exp = build_experiment(cfg, obs=obs)
+    cluster = exp.cluster
+    client = exp.make_client(concurrent_proposals=concurrent_proposals)
+    cluster.run_for(warmup_ms)
+
+    decided_before = client.decided_count
+    slow_at = cluster.now
+    handle = cluster.push_tick_scale(SLOW_LEADER, slow_factor)
+    cluster.set_msg_cost(SLOW_LEADER, per_msg_ms)
+
+    # Step through the slow window in election-timeout slices, watching
+    # for the first moment a healthy server claims leadership.
+    handover: Optional[float] = None
+    end_at = slow_at + slow_duration_ms
+    while cluster.now < end_at:
+        cluster.run_until(min(cluster.now + timeout, end_at))
+        if handover is None:
+            healthy = [p for p in cluster.leaders() if p != SLOW_LEADER]
+            if healthy:
+                handover = cluster.now - slow_at
+    slow_end = cluster.now
+    abdicated = SLOW_LEADER not in cluster.leaders()
+
+    cluster.pop_tick_scale(SLOW_LEADER, handle)
+    cluster.set_msg_cost(SLOW_LEADER, 0.0)
+    cluster.run_for(cooldown_ms)
+
+    tracker = client.tracker
+    during = tracker.count_between(slow_at, slow_end)
+    return FailSlowResult(
+        protocol=protocol,
+        gray_aware=gray_aware,
+        election_timeout_ms=timeout,
+        slow_factor=slow_factor,
+        slow_at_ms=slow_at,
+        slow_end_ms=slow_end,
+        downtime_ms=tracker.downtime(slow_at, slow_end),
+        recovery_ms=tracker.recovery_time(slow_at, slow_end),
+        decided_before_slow=decided_before,
+        decided_during_slow=during,
+        decided_after_heal=tracker.count_between(slow_end, cluster.now),
+        handover_ms=handover,
+        abdicated=abdicated,
+        leaders_at_end=tuple(cluster.leaders()),
+        throughput_before_per_s=(
+            decided_before / (slow_at / 1000.0) if slow_at > 0 else 0.0
+        ),
+        throughput_during_per_s=(
+            during / (slow_duration_ms / 1000.0)
+            if slow_duration_ms > 0 else 0.0
+        ),
+    )
+
+
+#: The fig8-fail-slow comparison grid: heartbeat-based election vs the
+#: gray-aware variants, over the protocols that have a reaction hook.
+COMPARISON_CELLS: Tuple[Tuple[str, bool], ...] = (
+    ("omni", False),
+    ("omni", True),
+    ("raft_pvcq", False),
+    ("raft_pvcq", True),
+)
+
+
+def run_failslow_comparison(
+    election_timeout_ms: float = 100.0,
+    slow_factor: float = 100.0,
+    slow_duration_ms: Optional[float] = None,
+    seed: int = 0,
+    num_servers: int = 5,
+    geo: Optional[str] = None,
+    cells: Tuple[Tuple[str, bool], ...] = COMPARISON_CELLS,
+) -> List[FailSlowResult]:
+    """Run the full comparison grid (one seed) and return every cell."""
+    return [
+        run_failslow_scenario(
+            protocol,
+            gray_aware=gray_aware,
+            election_timeout_ms=election_timeout_ms,
+            slow_factor=slow_factor,
+            slow_duration_ms=slow_duration_ms,
+            seed=seed,
+            num_servers=num_servers,
+            geo=geo,
+        )
+        for protocol, gray_aware in cells
+    ]

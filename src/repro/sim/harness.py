@@ -74,6 +74,14 @@ class ExperimentConfig:
     #: freshly created backing store, letting fault injectors (e.g. the chaos
     #: engine's FaultyStorage) interpose on disk writes per server.
     storage_wrapper: Optional[Callable[[int, Storage], Storage]] = None
+    #: Opt-in graceful degradation under fail-slow faults: servers that
+    #: score *themselves* degraded withdraw from leadership (Omni BLE
+    #: demotes/withholds its ballot; Raft declines candidacy and a
+    #: degraded leader steps down). Applies to ``omni``, ``raft`` and
+    #: ``raft_pvcq``; ``multipaxos``/``vr`` have no reaction hook and
+    #: ignore it. Default off — default behaviour and bench digests are
+    #: untouched.
+    gray_aware: bool = False
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -149,25 +157,37 @@ class Experiment:
                     proposal_timeout_ms: Optional[float] = None,
                     client_id: int = 1) -> ClosedLoopClient:
         """Attach a closed-loop client (the paper's CP workload)."""
+        timeout_provider = None
         if proposal_timeout_ms is None:
             # Long enough that a single leader round trip never expires it,
             # short enough to re-route within an election timeout or two.
             # The latency term must use the *slowest* effective link — under
             # a WAN latency map the per-link overrides dwarf the base
             # one_way_ms, and sizing from the base alone made clients time
-            # out and re-propose entries that were still in flight.
-            max_one_way = self.network.max_latency()
-            proposal_timeout_ms = max(
-                2.0 * self.config.election_timeout_ms,
-                8.0 * max_one_way + 4.0 * self.config.effective_tick_ms,
-            )
+            # out and re-propose entries that were still in flight. It is a
+            # live provider, not a one-shot computation: a ``slow_link``
+            # fault injected mid-run inflates ``max_latency`` and the
+            # client's patience must stretch with it, or every in-flight
+            # proposal times out and gets double-proposed over the very
+            # link that is struggling.
+            network, config = self.network, self.config
+
+            def timeout_provider() -> float:
+                return max(
+                    2.0 * config.election_timeout_ms,
+                    8.0 * network.max_latency()
+                    + 4.0 * config.effective_tick_ms,
+                )
+
+            proposal_timeout_ms = timeout_provider()
         params = WorkloadParams(
             client_id=client_id,
             concurrent_proposals=concurrent_proposals,
             client_tick_ms=self.config.effective_tick_ms,
             proposal_timeout_ms=proposal_timeout_ms,
         )
-        client = ClosedLoopClient(self.cluster, params)
+        client = ClosedLoopClient(self.cluster, params,
+                                  timeout_provider=timeout_provider)
         client.set_observability(self.obs)
         client.start()
         return client
@@ -293,6 +313,7 @@ def make_replica(cfg: ExperimentConfig, pid: int,
             migration_chunk_entries=cfg.migration_chunk_entries,
             migration_retry_ms=max(2 * cfg.election_timeout_ms, 100.0),
             announce_period_ms=max(cfg.election_timeout_ms, 50.0),
+            gray_aware=cfg.gray_aware,
             **kwargs,
         ))
     if cfg.protocol in ("raft", "raft_pvcq"):
@@ -306,6 +327,7 @@ def make_replica(cfg: ExperimentConfig, pid: int,
             max_entries_per_msg=cfg.effective_max_batch,
             seed=cfg.seed,
             initial_leader=cfg.initial_leader if in_config else None,
+            gray_aware=cfg.gray_aware,
         ))
     if cfg.protocol == "multipaxos":
         return MultiPaxosReplica(MultiPaxosConfig(

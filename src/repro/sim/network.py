@@ -97,9 +97,15 @@ class SimNetwork(Instrumented):
         self._down: set = set()
         #: Per-link latency overrides (symmetric).
         self._latency: Dict[FrozenSet[int], float] = {}
-        #: Precomputed ordered-pair view of ``_latency`` so the send path
-        #: looks up overrides by the same ``(src, dst)`` tuple it already
-        #: builds for the FIFO clamp — no per-send frozenset allocation.
+        #: Directed per-pair latency overrides (``slow_link`` fail-slow
+        #: injection): take precedence over the symmetric map in the sent
+        #: direction only, modelling asymmetric degradation (a congested
+        #: egress path while the return path stays fast).
+        self._latency_directed: Dict[Tuple[int, int], float] = {}
+        #: Precomputed merged ordered-pair view of the two override maps so
+        #: the send path looks up latency by the same ``(src, dst)`` tuple
+        #: it already builds for the FIFO clamp — no per-send frozenset
+        #: allocation. Directed overrides win over symmetric ones.
         self._latency_by_pair: Dict[Tuple[int, int], float] = {}
         #: FIFO enforcement: last scheduled delivery per ordered pair.
         self._last_delivery: Dict[Tuple[int, int], float] = {}
@@ -206,25 +212,75 @@ class SimNetwork(Instrumented):
         if one_way_ms < 0:
             raise ConfigError("latency must be non-negative")
         self._latency[_link(a, b)] = one_way_ms
-        self._latency_by_pair[(a, b)] = one_way_ms
-        self._latency_by_pair[(b, a)] = one_way_ms
+        self._refresh_pair(a, b)
+        self._refresh_pair(b, a)
 
     def latency(self, a: int, b: int) -> float:
+        """The symmetric one-way latency of the link (ignores directed
+        overrides — see :meth:`effective_latency` for the sent direction)."""
         return self._latency.get(_link(a, b), self._default_latency)
+
+    def latency_override(self, a: int, b: int) -> Optional[float]:
+        """The current symmetric override for the link, or None when the
+        link rides the default (lets a fault revert restore what was
+        configured — e.g. a geo latency map — instead of clearing it)."""
+        return self._latency.get(_link(a, b))
+
+    def effective_latency(self, src: int, dst: int) -> float:
+        """The one-way latency a message sent ``src -> dst`` experiences
+        right now: directed override, else symmetric override, else the
+        default."""
+        return self._latency_by_pair.get((src, dst), self._default_latency)
+
+    def set_latency_directed(self, src: int, dst: int,
+                             one_way_ms: float) -> None:
+        """Override latency in the ``src -> dst`` direction only.
+
+        The return path keeps its symmetric/default latency — this is the
+        asymmetric fail-slow link (``slow_link``): one direction limps, the
+        other stays fast, so request/reply protocols see inflated RTTs
+        without losing connectivity.
+        """
+        if one_way_ms < 0:
+            raise ConfigError("latency must be non-negative")
+        self._latency_directed[(src, dst)] = one_way_ms
+        self._refresh_pair(src, dst)
+
+    def directed_latency_override(self, src: int,
+                                  dst: int) -> Optional[float]:
+        """The current ``src -> dst`` directed override, or None."""
+        return self._latency_directed.get((src, dst))
+
+    def clear_latency_directed(self, src: int, dst: int) -> None:
+        """Drop a directed override (back to symmetric/default)."""
+        self._latency_directed.pop((src, dst), None)
+        self._refresh_pair(src, dst)
 
     def max_latency(self) -> float:
         """The largest effective one-way latency of any link (the default
         when no override exceeds it). Timeout derivations use this so WAN
-        overrides are respected."""
-        if not self._latency:
+        maps *and* mid-run inflation (``slow_link``) are respected."""
+        if not self._latency_by_pair:
             return self._default_latency
-        return max(self._default_latency, max(self._latency.values()))
+        return max(self._default_latency, max(self._latency_by_pair.values()))
 
     def clear_latency(self, a: int, b: int) -> None:
-        """Drop a per-link latency override (back to the default)."""
+        """Drop a per-link symmetric latency override (back to the default).
+
+        Directed overrides on the pair, if any, stay in force."""
         self._latency.pop(_link(a, b), None)
-        self._latency_by_pair.pop((a, b), None)
-        self._latency_by_pair.pop((b, a), None)
+        self._refresh_pair(a, b)
+        self._refresh_pair(b, a)
+
+    def _refresh_pair(self, src: int, dst: int) -> None:
+        """Recompute the merged per-pair view for one ordered pair."""
+        value = self._latency_directed.get((src, dst))
+        if value is None:
+            value = self._latency.get(_link(src, dst))
+        if value is None:
+            self._latency_by_pair.pop((src, dst), None)
+        else:
+            self._latency_by_pair[(src, dst)] = value
 
     # -- link degradation (chaos knobs) -------------------------------------
 

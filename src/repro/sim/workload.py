@@ -20,7 +20,7 @@ timeouts and re-routing are exactly why that shows up as lost throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Callable, Dict, Optional, Set
 
 from repro.errors import ConfigError, ReproError
 from repro.obs.events import ClientProposalSent, ClientReplyDecided
@@ -54,9 +54,16 @@ class ClosedLoopClient(Instrumented):
     """Closed-loop proposer driving a :class:`SimCluster`."""
 
     def __init__(self, cluster: SimCluster, params: WorkloadParams,
-                 tracker: Optional[DecidedTracker] = None):
+                 tracker: Optional[DecidedTracker] = None,
+                 timeout_provider: Optional[Callable[[], float]] = None):
+        """``timeout_provider``, when given, is consulted on every timeout
+        sweep instead of the static ``params.proposal_timeout_ms`` — the
+        harness wires one that tracks the network's current worst-case
+        latency, so a ``slow_link`` fault injected mid-run stretches the
+        client's patience instead of triggering a re-proposal storm."""
         self._cluster = cluster
         self._params = params
+        self._timeout_provider = timeout_provider
         self.tracker = tracker if tracker is not None else DecidedTracker()
         self._payload = bytes(params.entry_bytes)
         self._next_seq = 0
@@ -97,6 +104,14 @@ class ClosedLoopClient(Instrumented):
     def next_seq(self) -> int:
         """Sequence numbers below this have been handed out (SC1 bound)."""
         return self._next_seq
+
+    @property
+    def current_timeout_ms(self) -> float:
+        """The re-propose timeout in force right now (live when a
+        provider was wired, the static param otherwise)."""
+        if self._timeout_provider is not None:
+            return self._timeout_provider()
+        return self._params.proposal_timeout_ms
 
     def latency_percentiles(self) -> Dict[str, float]:
         """p50/p95/p99 user-perceived latency in ms (first submission to
@@ -173,7 +188,7 @@ class ClosedLoopClient(Instrumented):
         self._schedule_tick()
 
     def _handle_timeouts(self, now: float) -> None:
-        timeout = self._params.proposal_timeout_ms
+        timeout = self.current_timeout_ms
         expired = [
             seq for seq, sent in self._outstanding.items()
             if now - sent >= timeout

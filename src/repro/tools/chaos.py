@@ -30,6 +30,7 @@ from repro.chaos.schedule import ChaosSchedule, describe_op
 from repro.chaos.shrink import shrink_schedule
 from repro.obs.exporters import JsonLinesSink
 from repro.obs.registry import MetricsRegistry
+from repro.sim.geo import GEO_MAPS
 from repro.sim.harness import PROTOCOLS
 
 #: Protocols the CI smoke sweeps (all of them).
@@ -66,6 +67,7 @@ def cmd_run(args) -> int:
         num_ops=args.ops,
         election_timeout_ms=args.election_timeout_ms,
         allow_wipe=args.allow_wipe,
+        geo=args.geo,
     )
     if args.out:
         with open(args.out, "w") as fh:
@@ -118,6 +120,7 @@ def cmd_smoke(args) -> int:
                 # Wipes violate the fail-recovery model on purpose; the
                 # smoke asserts the *model-conforming* faults are safe.
                 allow_wipe=False,
+                geo=args.geo,
             )
             result = run_schedule(schedule)
             status = "ok" if result.ok else "VIOLATION"
@@ -168,6 +171,8 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--duration-ms", type=float, default=20_000.0)
             p.add_argument("--ops", type=int, default=10)
             p.add_argument("--election-timeout-ms", type=float, default=100.0)
+            p.add_argument("--geo", choices=sorted(GEO_MAPS), default=None,
+                           help="run inside a named geo latency environment")
 
     p_run = sub.add_parser("run", help="generate a seed's schedule and run it")
     p_run.add_argument("--seed", type=int, required=True)
@@ -200,6 +205,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_smoke.add_argument("--duration-ms", type=float, default=8_000.0)
     p_smoke.add_argument("--ops", type=int, default=6)
     p_smoke.add_argument("--election-timeout-ms", type=float, default=100.0)
+    p_smoke.add_argument("--geo", choices=sorted(GEO_MAPS), default=None,
+                         help="sweep inside a named geo latency environment")
     p_smoke.add_argument("--artifacts-dir", default=None,
                          help="write failing schedules + exports here")
     return parser

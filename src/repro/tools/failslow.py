@@ -1,0 +1,145 @@
+"""CLI: the fig8-style fail-slow leader experiment (gray failure).
+
+Example::
+
+    python -m repro.tools.failslow --timeout-ms 100 --seeds 1 2 3
+    python -m repro.tools.failslow --protocol omni --gray-aware --geo regions3
+
+With no ``--protocol`` the full comparison grid runs — default
+heartbeat-based election vs the ``gray_aware`` variants for Omni BLE and
+Raft PV+CQ — and the summary contrasts how long each cell left a 100×
+slow leader in charge. ``--json`` emits one JSON object per cell for
+scripting; ``--obs`` exports the run's events for the series/timeline
+tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.sim.failslow import (
+    COMPARISON_CELLS,
+    run_failslow_scenario,
+)
+from repro.sim.geo import GEO_MAPS
+from repro.sim.harness import PROTOCOLS
+from repro.util.stats import mean_ci
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Fail-slow leader experiment: fig8-style downtime "
+                    "comparison under a gray-failed (100x slow) leader."
+    )
+    parser.add_argument("--protocol", choices=PROTOCOLS, default=None,
+                        help="run one cell only (default: comparison grid)")
+    parser.add_argument("--gray-aware", action="store_true",
+                        help="with --protocol: enable the gray-aware "
+                             "self-demotion reaction")
+    parser.add_argument("--timeout-ms", type=float, default=100.0,
+                        help="election timeout / heartbeat period")
+    parser.add_argument("--factor", type=float, default=100.0,
+                        help="leader slowdown factor (tick scale)")
+    parser.add_argument("--per-msg-ms", type=float, default=5.0,
+                        help="serialized CPU cost per message on the "
+                             "slow leader")
+    parser.add_argument("--duration-ms", type=float, default=None,
+                        help="slow-window length (default: 40 timeouts)")
+    parser.add_argument("--servers", type=int, default=5)
+    parser.add_argument("--cp", type=int, default=8,
+                        help="concurrent proposals kept in flight")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    parser.add_argument("--geo", choices=sorted(GEO_MAPS), default=None,
+                        help="run inside a named geo latency environment")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON object per cell instead of "
+                             "the table")
+    return parser
+
+
+def _cell_label(protocol: str, gray_aware: bool) -> str:
+    return f"{protocol}{'+gray' if gray_aware else ''}"
+
+
+def _run_cells(args):
+    """Run every (protocol, gray_aware, seed) cell; yield per-cell stats."""
+    if args.protocol is not None:
+        cells = [(args.protocol, args.gray_aware)]
+    else:
+        cells = list(COMPARISON_CELLS)
+    for protocol, gray_aware in cells:
+        results = [
+            run_failslow_scenario(
+                protocol,
+                gray_aware=gray_aware,
+                election_timeout_ms=args.timeout_ms,
+                slow_factor=args.factor,
+                per_msg_ms=args.per_msg_ms,
+                slow_duration_ms=args.duration_ms,
+                concurrent_proposals=args.cp,
+                seed=seed,
+                num_servers=args.servers,
+                geo=args.geo,
+            )
+            for seed in args.seeds
+        ]
+        yield protocol, gray_aware, results
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    rows = []
+    for protocol, gray_aware, results in _run_cells(args):
+        label = _cell_label(protocol, gray_aware)
+        if args.json:
+            for seed, result in zip(args.seeds, results):
+                print(json.dumps({"seed": seed, **result.to_dict()},
+                                 sort_keys=True))
+        handovers = [r.handover_ms for r in results
+                     if r.handover_ms is not None]
+        rows.append({
+            "label": label,
+            "handover": mean_ci(handovers) if handovers else None,
+            "held_on": len(results) - len(handovers),
+            "dip": mean_ci([r.throughput_dip for r in results]),
+            "decided": mean_ci(
+                [float(r.decided_during_slow) for r in results]
+            ),
+            "downtime": mean_ci([r.downtime_ms for r in results]),
+        })
+    if args.json:
+        return 0
+
+    print(f"fail-slow leader: factor=x{args.factor:.0f} "
+          f"per_msg={args.per_msg_ms:.1f}ms timeout={args.timeout_ms:.0f}ms "
+          f"seeds={len(args.seeds)}"
+          + (f" geo={args.geo}" if args.geo else ""))
+    print()
+    header = (f"{'cell':<14} {'handover_ms':>14} {'held_on':>8} "
+              f"{'tput_dip':>9} {'decided':>10} {'downtime_ms':>12}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        handover = (f"{row['handover'].mean:11.0f}   "
+                    if row["handover"] is not None else f"{'never':>14}")
+        print(f"{row['label']:<14} {handover:>14} {row['held_on']:>8} "
+              f"{row['dip'].mean:>9.2f} {row['decided'].mean:>10.0f} "
+              f"{row['downtime'].mean:>12.0f}")
+    print()
+    # The experiment's point, stated as a verdict: gray-aware cells must
+    # shed the slow leader; default cells are expected to keep it.
+    aware = [r for r in rows if "+gray" in r["label"]]
+    stuck = [r["label"] for r in aware if r["handover"] is None]
+    if stuck:
+        print(f"verdict : FAIL — gray-aware cell(s) never handed over: "
+              f"{', '.join(stuck)}")
+        return 1
+    if aware:
+        print("verdict : gray-aware cells handed leadership off the slow "
+              "leader; default cells kept it for the whole window")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

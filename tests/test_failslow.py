@@ -1,0 +1,216 @@
+"""Gray-aware graceful handover: the fail-slow acceptance suite.
+
+The tentpole claims under test (ROADMAP item 5, reaction half):
+
+- a 100×-slowed leader **abdicates within a few heartbeat rounds** when
+  ``gray_aware`` is on — and *never* under default heartbeat-based
+  election, which is exactly the gray-failure blind spot the fail-slow
+  literature documents,
+- gray-aware mode recovers throughput measurably faster than default
+  under the same fail-slow leader,
+- the reaction is strictly config-gated: default builds carry no monitor
+  and behave bit-identically to before,
+- the client's proposal timeout is a *live* quantity that stretches when
+  a ``slow_link`` fault inflates latencies mid-run (WAN regression).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.events import PeerDegraded, PeerRecovered
+from repro.obs.exporters import MemorySink
+from repro.obs.health import SelfDegradationMonitor
+from repro.obs.registry import MetricsRegistry
+from repro.sim.failslow import (
+    COMPARISON_CELLS,
+    FailSlowResult,
+    run_failslow_scenario,
+)
+from repro.sim.harness import ExperimentConfig, build_experiment
+from repro.tools import failslow as failslow_cli
+
+ET = 100.0
+
+
+def _cell(protocol, gray_aware, **kw):
+    kw.setdefault("election_timeout_ms", ET)
+    kw.setdefault("slow_duration_ms", 2_000.0)
+    kw.setdefault("warmup_ms", 1_000.0)
+    kw.setdefault("cooldown_ms", 500.0)
+    kw.setdefault("seed", 1)
+    return run_failslow_scenario(protocol, gray_aware=gray_aware, **kw)
+
+
+class TestSelfDegradationMonitor:
+    def _bound(self, **kw):
+        monitor = SelfDegradationMonitor(pid=1, **kw)
+        registry = MetricsRegistry()
+        registry.enable_tracing()
+        sink = MemorySink()
+        registry.add_sink(sink)
+        monitor.bind(registry)
+        return monitor, sink
+
+    def test_nominal_cadence_stays_healthy(self):
+        monitor, sink = self._bound(expected_interval_ms=50.0)
+        for _ in range(20):
+            monitor.observe_interval(50.0)
+        assert not monitor.degraded
+        assert monitor.score == pytest.approx(1.0)
+        assert not sink.records
+
+    def test_slow_cadence_trips_and_recovers_with_events(self):
+        monitor, sink = self._bound(expected_interval_ms=50.0)
+        for _ in range(10):
+            monitor.observe_interval(5_000.0)  # 100x late
+        assert monitor.degraded
+        assert monitor.score > 3.0
+        for _ in range(30):
+            monitor.observe_interval(50.0)
+        assert not monitor.degraded
+        degraded = [r.event for r in sink.records
+                    if isinstance(r.event, PeerDegraded)]
+        recovered = [r.event for r in sink.records
+                     if isinstance(r.event, PeerRecovered)]
+        assert len(degraded) == 1 and len(recovered) == 1
+        # Self-verdicts are self-loops in the health graph.
+        assert degraded[0].peer == degraded[0].pid == 1
+        assert degraded[0].reason == "self_interval"
+
+    def test_self_baseline_mode_learns_then_trips(self):
+        monitor, _ = self._bound(expected_interval_ms=None)
+        for _ in range(10):
+            monitor.observe_interval(40.0)
+        assert monitor.baseline == pytest.approx(40.0)
+        assert not monitor.degraded
+        for _ in range(10):
+            monitor.observe_interval(4_000.0)
+        assert monitor.degraded
+        # The healthy baseline survives the slow spell (min-EWMA).
+        assert monitor.baseline == pytest.approx(40.0)
+
+    def test_observe_fire_measures_gaps(self):
+        monitor, _ = self._bound(expected_interval_ms=50.0)
+        now = 0.0
+        for _ in range(10):
+            monitor.observe_fire(now)
+            now += 50.0
+        assert monitor.interval_ewma == pytest.approx(50.0)
+        snap = monitor.snapshot()
+        assert snap["degraded"] is False
+        assert snap["interval_ewma_ms"] == pytest.approx(50.0)
+
+
+class TestGrayAwareGating:
+    def test_default_builds_carry_no_monitor(self):
+        exp = build_experiment(ExperimentConfig(num_servers=3))
+        assert exp.cluster.replica(1).status()["self_health"] is None
+
+    def test_gray_aware_omni_exposes_self_health(self):
+        exp = build_experiment(
+            ExperimentConfig(num_servers=3, gray_aware=True))
+        health = exp.cluster.replica(1).status()["self_health"]
+        assert health is not None
+        assert health["degraded"] is False
+
+    def test_gray_aware_raft_exposes_self_health(self):
+        exp = build_experiment(
+            ExperimentConfig(protocol="raft_pvcq", num_servers=3,
+                             gray_aware=True))
+        assert exp.cluster.replica(1).status()["self_health"] is not None
+
+    def test_rejects_silly_slow_factor(self):
+        with pytest.raises(ConfigError):
+            run_failslow_scenario("omni", slow_factor=0.5)
+
+
+class TestGracefulHandover:
+    """The acceptance criterion: abdicate within K rounds, or never."""
+
+    @pytest.mark.parametrize("protocol", ["omni", "raft_pvcq"])
+    def test_default_never_displaces_a_slow_leader(self, protocol):
+        result = _cell(protocol, gray_aware=False)
+        assert result.handover_ms is None
+        assert not result.abdicated
+
+    @pytest.mark.parametrize("protocol", ["omni", "raft_pvcq"])
+    def test_gray_aware_abdicates_within_k_rounds(self, protocol):
+        result = _cell(protocol, gray_aware=True)
+        assert result.abdicated
+        assert result.handover_ms is not None
+        # Onset detection needs a few slowed firings (each stretched to
+        # ~factor x the period), so K is in the tens of rounds — the
+        # point is it is bounded, vs never for the default.
+        assert result.handover_ms <= 20.0 * ET
+
+    def test_gray_aware_recovers_throughput_faster(self):
+        slow = _cell("omni", gray_aware=False)
+        aware = _cell("omni", gray_aware=True)
+        assert aware.decided_during_slow > slow.decided_during_slow
+        assert aware.throughput_dip < slow.throughput_dip
+
+    def test_scenario_is_deterministic(self):
+        assert _cell("omni", gray_aware=True).to_dict() == \
+            _cell("omni", gray_aware=True).to_dict()
+
+    def test_runs_inside_a_geo_environment(self):
+        result = _cell("omni", gray_aware=True, geo="regions3",
+                       election_timeout_ms=800.0,
+                       slow_duration_ms=16_000.0, warmup_ms=8_000.0,
+                       cooldown_ms=2_000.0)
+        assert result.abdicated
+
+    def test_result_dict_is_json_serializable(self):
+        result = _cell("raft_pvcq", gray_aware=True)
+        assert isinstance(result, FailSlowResult)
+        json.dumps(result.to_dict())
+
+
+class TestLiveClientTimeout:
+    """Satellite: the proposal timeout stretches with mid-run slowness."""
+
+    def test_timeout_tracks_inflated_latency(self):
+        exp = build_experiment(ExperimentConfig(num_servers=3))
+        client = exp.make_client(concurrent_proposals=2)
+        before = client.current_timeout_ms
+        # A slow_link-style directed inflation lands mid-run.
+        exp.network.set_latency_directed(1, 2, 500.0)
+        after = client.current_timeout_ms
+        assert after > before
+        assert after >= 8.0 * 500.0
+        # And relaxes again once the fault reverts.
+        exp.network.clear_latency_directed(1, 2)
+        assert client.current_timeout_ms == before
+
+    def test_explicit_timeout_stays_fixed(self):
+        exp = build_experiment(ExperimentConfig(num_servers=3))
+        client = exp.make_client(concurrent_proposals=2,
+                                 proposal_timeout_ms=1234.0)
+        exp.network.set_latency_directed(1, 2, 500.0)
+        assert client.current_timeout_ms == 1234.0
+
+
+class TestFailslowCli:
+    def test_single_cell_json(self, capsys):
+        rc = failslow_cli.main([
+            "--protocol", "omni", "--gray-aware", "--seeds", "1",
+            "--duration-ms", "2000", "--json",
+        ])
+        assert rc == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.strip().splitlines()]
+        assert len(lines) == 1
+        assert lines[0]["protocol"] == "omni"
+        assert lines[0]["gray_aware"] is True
+        assert lines[0]["abdicated"] is True
+
+    def test_comparison_grid_verdict(self, capsys):
+        rc = failslow_cli.main(["--seeds", "1", "--duration-ms", "2000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for protocol, gray in COMPARISON_CELLS:
+            assert failslow_cli._cell_label(protocol, gray) in out
+        assert "never" in out        # the default cells held on
+        assert "verdict" in out
