@@ -626,3 +626,15 @@ class MultiPaxosReplica(Replica, Instrumented):
 
     def _send(self, dst: int, msg: Any) -> None:
         self._outbox.append((dst, msg))
+
+
+#: Wire-crossing Multi-Paxos messages, registered with stable binary tags
+#: in `repro.runtime.codec` (drift guarded by the codec test suite).
+WIRE_MESSAGES = (
+    P1a,
+    P1b,
+    P2a,
+    P2b,
+    Ping,
+    Pong,
+)

@@ -1119,3 +1119,17 @@ class RaftReplica(Replica, Instrumented):
 
     def _send(self, dst: int, msg: Any) -> None:
         self._outbox.append((dst, msg))
+
+
+#: Wire-crossing Raft messages, registered with stable binary tags in
+#: `repro.runtime.codec` (drift guarded by the codec test suite).
+WIRE_MESSAGES = (
+    RequestVote,
+    RequestVoteReply,
+    AppendEntries,
+    AppendEntriesReply,
+    RaftSlot,
+    TimeoutNow,
+    RaftConfigChange,
+    InstallSnapshot,
+)

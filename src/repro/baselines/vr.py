@@ -386,3 +386,13 @@ class VRReplica(Replica, Instrumented):
 
     def _send(self, dst: int, msg: Any) -> None:
         self._outbox.append((dst, msg))
+
+
+#: Wire-crossing VR messages, registered with stable binary tags in
+#: `repro.runtime.codec` (drift guarded by the codec test suite).
+WIRE_MESSAGES = (
+    StartViewChange,
+    DoViewChange,
+    StartView,
+    VRPing,
+)

@@ -16,7 +16,9 @@ clock may differ.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+import asyncio
+import socket
+from typing import Any, Dict, List, Optional
 
 from repro.bench.runner import LogDigest, make_result, timed
 from repro.obs.exporters import MemorySink
@@ -120,5 +122,169 @@ def run_macro_suite(budget: Dict[str, Any], seed: int = 0,
             cp=budget["macro_cp"],
             seed=seed,
             trace=trace,
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Runtime (real TCP) macro benches — PR 9.
+
+
+def _free_ports(count: int) -> List[int]:
+    """OS-assigned free ports (closed immediately; the tiny reuse race is
+    far less flaky than fixed port numbers under a loaded machine)."""
+    socks = [socket.socket() for _ in range(count)]
+    try:
+        for sock in socks:
+            sock.bind(("127.0.0.1", 0))
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        return [sock.getsockname()[1] for sock in socks]
+    finally:
+        for sock in socks:
+            sock.close()
+
+
+def _build_runtime_replica(protocol: str, pid: int, servers: tuple,
+                           seed: int) -> Any:
+    if protocol == "omni":
+        from repro.omni.server import (
+            ClusterConfig, OmniPaxosConfig, OmniPaxosServer,
+        )
+        return OmniPaxosServer(OmniPaxosConfig(
+            pid=pid, cluster=ClusterConfig(0, servers),
+            hb_period_ms=50.0, initial_leader=servers[0]))
+    if protocol == "raft":
+        from repro.baselines.raft import RaftConfig, RaftReplica
+        return RaftReplica(RaftConfig(
+            pid=pid, voters=servers, election_timeout_ms=400.0,
+            heartbeat_ms=50.0, seed=seed + pid,
+            initial_leader=servers[0]))
+    raise ValueError(f"runtime macro bench has no builder for {protocol!r}")
+
+
+async def _runtime_macro_run(protocol: str, wire: str, n_entries: int,
+                             payload_bytes: int, num_servers: int,
+                             seed: int, tick_ms: float) -> Dict[str, Any]:
+    from repro.omni.entry import Command
+    from repro.runtime import PeerAddress, PipelineConfig, RuntimeNode
+
+    servers = tuple(range(1, num_servers + 1))
+    ports = _free_ports(num_servers)
+    addrs = {p: PeerAddress(p, "127.0.0.1", ports[p - 1]) for p in servers}
+    digest = LogDigest()
+    decided_counts = {p: 0 for p in servers}
+    all_decided = asyncio.Event()
+
+    def make_handler(pid: int):
+        def on_decided(idx: int, entry: Any) -> None:
+            digest.record(pid, idx, entry)
+            decided_counts[pid] += 1
+            if all(c >= n_entries for c in decided_counts.values()):
+                all_decided.set()
+        return on_decided
+
+    legacy = wire == "pickle"
+    nodes = {}
+    for p in servers:
+        replica = _build_runtime_replica(protocol, p, servers, seed)
+        nodes[p] = RuntimeNode(
+            replica, addrs[p],
+            {q: a for q, a in addrs.items() if q != p},
+            tick_ms=tick_ms,
+            on_decided=make_handler(p),
+            wire=wire,
+            # Legacy mode reproduces the pre-PR-9 wire path: one frame
+            # per write (coalesce threshold 1 flushes every send) and no
+            # admission pipeline — the "pickle baseline" of the compare.
+            coalesce_bytes=1 if legacy else 32 * 1024,
+            pipeline=None if legacy else PipelineConfig(),
+        )
+    for node in nodes.values():
+        await node.start()
+    try:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + 30.0
+        leader_pid = servers[0]
+        while loop.time() < deadline:
+            if (all(n.leader_pid == leader_pid for n in nodes.values())
+                    and all(len(n.connected_peers) == num_servers - 1
+                            for n in nodes.values())):
+                break
+            await asyncio.sleep(0.01)
+        else:
+            raise RuntimeError(
+                f"runtime bench: no stable leader for {protocol} in 30s")
+
+        payload = b"x" * payload_bytes
+        entries = [Command(data=payload, client_id=1, seq=i)
+                   for i in range(n_entries)]
+        leader = nodes[leader_pid]
+
+        start = loop.time()
+        if legacy:
+            # Pre-PR-9 shape: per-entry propose, yielding regularly so
+            # the event loop can drain sockets between proposals.
+            for i, entry in enumerate(entries):
+                leader.propose(entry)
+                if i % 32 == 31:
+                    await asyncio.sleep(0)
+        else:
+            leader.propose_batch(entries)
+        await asyncio.wait_for(all_decided.wait(), timeout=120.0)
+        wall = loop.time() - start
+    finally:
+        for node in nodes.values():
+            await node.stop()
+
+    return {
+        "wall": wall,
+        "counters": {
+            "decided_per_server": min(decided_counts.values()),
+            "num_servers": num_servers,
+            "entries_proposed": n_entries,
+            "decided_log_digest": digest.hexdigest(),
+        },
+    }
+
+
+def run_runtime_macro(protocol: str = "omni", wire: str = "binary",
+                      n_entries: int = 2_000, payload_bytes: int = 16,
+                      num_servers: int = 3, seed: int = 0,
+                      tick_ms: float = 5.0) -> Dict[str, Any]:
+    """Decided throughput of a live TCP cluster on localhost.
+
+    Boots ``num_servers`` :class:`~repro.runtime.node.RuntimeNode`
+    processes-in-one-loop, waits for the seeded leader, proposes
+    ``n_entries`` commands at it, and measures wall-clock from first
+    proposal until *every* server has decided all of them. ``ops_per_sec``
+    is therefore decided entries per second end-to-end over real sockets.
+
+    ``wire="binary"`` runs the full PR-9 stack (binary codec, frame
+    coalescing, pipelined admission); ``wire="pickle"`` reproduces the
+    legacy path (pickle frames, one write per message, per-entry
+    proposals). Both must produce byte-identical decided-log digests —
+    the wire format may change how fast entries travel, never what gets
+    decided where.
+    """
+    out = asyncio.run(_runtime_macro_run(
+        protocol, wire, n_entries, payload_bytes, num_servers, seed,
+        tick_ms))
+    return make_result(
+        f"runtime_{protocol}", out["wall"], n_entries, out["counters"],
+        extra={"wire": wire},
+    )
+
+
+def run_runtime_suite(budget: Dict[str, Any], seed: int = 0,
+                      wire: str = "binary") -> Dict[str, Dict[str, Any]]:
+    """Run the runtime macro bench for every protocol in the budget."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for protocol in budget["runtime_protocols"]:
+        out[f"runtime_{protocol}"] = run_runtime_macro(
+            protocol,
+            wire=wire,
+            n_entries=budget["runtime_entries"],
+            payload_bytes=budget["runtime_payload_bytes"],
+            seed=seed,
         )
     return out

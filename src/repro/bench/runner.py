@@ -36,6 +36,9 @@ BUDGETS: Dict[str, Dict[str, Any]] = {
         "macro_duration_ms": 1_000.0,
         "macro_cp": 32,
         "macro_protocols": ("omni", "raft"),
+        "runtime_entries": 400,
+        "runtime_payload_bytes": 16,
+        "runtime_protocols": ("omni",),
     },
     "default": {
         "event_queue_events": 200_000,
@@ -46,6 +49,9 @@ BUDGETS: Dict[str, Dict[str, Any]] = {
         "macro_duration_ms": 4_000.0,
         "macro_cp": 64,
         "macro_protocols": ("omni", "raft", "raft_pvcq", "multipaxos", "vr"),
+        "runtime_entries": 5_000,
+        "runtime_payload_bytes": 16,
+        "runtime_protocols": ("omni", "raft"),
     },
     "full": {
         "event_queue_events": 1_000_000,
@@ -56,6 +62,9 @@ BUDGETS: Dict[str, Dict[str, Any]] = {
         "macro_duration_ms": 15_000.0,
         "macro_cp": 128,
         "macro_protocols": ("omni", "raft", "raft_pvcq", "multipaxos", "vr"),
+        "runtime_entries": 20_000,
+        "runtime_payload_bytes": 16,
+        "runtime_protocols": ("omni", "raft"),
     },
 }
 
@@ -126,7 +135,7 @@ def deterministic_view(doc: Dict[str, Any]) -> Dict[str, Any]:
     ``{bench_name: counters}`` with all timing fields removed.
     """
     out: Dict[str, Any] = {}
-    for section in ("micro", "macro"):
+    for section in ("micro", "macro", "runtime"):
         for name, result in sorted(doc.get(section, {}).items()):
             out[f"{section}.{name}"] = dict(result.get("counters", {}))
     return out
@@ -198,7 +207,7 @@ def compare_results(before: Dict[str, Any],
     commit phase that moved.
     """
     speedup: Dict[str, float] = {}
-    for section in ("micro", "macro"):
+    for section in ("micro", "macro", "runtime"):
         for name, b in before.get(section, {}).items():
             a = after.get(section, {}).get(name)
             if a is None or not b.get("ops_per_sec"):

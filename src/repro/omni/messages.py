@@ -358,3 +358,27 @@ class Envelope:
         if self.trace is not None:
             base += TraceContext.WIRE_SIZE
         return base
+
+
+#: Every wire-crossing message type this module defines, in definition
+#: order. The runtime codec registers a stable binary tag for each
+#: (`repro.runtime.codec`), and the codec test suite asserts this tuple
+#: and the registry never drift apart.
+WIRE_MESSAGES = (
+    HeartbeatRequest,
+    HeartbeatReply,
+    Prepare,
+    Promise,
+    AcceptSync,
+    AcceptDecide,
+    Accepted,
+    Trim,
+    Decide,
+    PrepareReq,
+    ProposalForward,
+    NewConfiguration,
+    JoinComplete,
+    LogPullRequest,
+    LogSegment,
+    Envelope,
+)

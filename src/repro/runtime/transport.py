@@ -8,21 +8,46 @@ inbound connections are receive-only. Broken connections reconnect with
 peer of a healed partition retry in lockstep, re-colliding on each wave —
 and a re-established *outbound* session triggers the session-drop
 callback so protocols can run their PrepareReq handling (section 4.1.3).
+
+Wire path (PR 9): frames are encoded with the schema-aware binary codec
+by default (``wire="pickle"`` restores the legacy format; inbound always
+auto-detects both). Outbound frames are *coalesced* per peer: ``send``
+stages bytes and a single ``call_soon``-scheduled flush writes every
+staged frame for a peer in one ``writer.write`` — with TCP_NODELAY (the
+asyncio default) per-message writes are per-packet and per-reader-wakeup,
+so batching them is the dominant wall-clock win. Staged bytes above
+``coalesce_bytes`` flush immediately; ``RuntimeNode`` also calls
+:meth:`flush` at each tick boundary. Writes are bounded: when a peer's
+asyncio write buffer plus staged bytes exceed ``max_write_buffer_bytes``
+the message is dropped and counted under
+``repro_messages_dropped_total{reason="backpressure"}`` — the semantics
+of a partitioned link, which every protocol already tolerates.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import random
 from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
 from repro.errors import TransportError
 from repro.obs.registry import NULL_REGISTRY, Instrumented
-from repro.runtime.codec import FrameDecoder, encode_frame
+from repro.runtime import codec as _codec
+from repro.runtime.codec import FrameDecoder, FrameEncoder, encode_frame
 
 MessageHandler = Callable[[int, Any], None]
 SessionHandler = Callable[[int], None]
+
+#: Flush a peer's staging buffer as soon as it holds this many bytes
+#: (roughly two TCP segments' worth of frames per syscall at the default).
+DEFAULT_COALESCE_BYTES = 32 * 1024
+
+#: Per-peer high-water mark: staged + asyncio-buffered bytes above this
+#: drop the message instead of queueing unboundedly toward a
+#: dead-but-undetected peer.
+DEFAULT_MAX_WRITE_BUFFER_BYTES = 4 * 1024 * 1024
 
 
 def decorrelated_jitter(rng: random.Random, base_s: float, prev_s: float,
@@ -62,6 +87,13 @@ class TransportPong:
     sent_ms: float
 
 
+# Registered here rather than in the codec's own table to avoid a
+# circular import (codec <- transport); 0x2E/0x2F are reserved for these
+# two in the codec's tag map.
+_codec.register_message(0x2E, TransportPing)
+_codec.register_message(0x2F, TransportPong)
+
+
 class TcpMesh(Instrumented):
     """The full-mesh TCP transport of one server."""
 
@@ -77,9 +109,14 @@ class TcpMesh(Instrumented):
         rng: Optional[random.Random] = None,
         ping_interval_ms: Optional[float] = None,
         on_rtt: Optional[Callable[[int, float], None]] = None,
+        wire: str = "binary",
+        coalesce_bytes: int = DEFAULT_COALESCE_BYTES,
+        max_write_buffer_bytes: int = DEFAULT_MAX_WRITE_BUFFER_BYTES,
     ):
         if listen.pid != pid:
             raise TransportError("listen address pid mismatch")
+        if wire not in _codec.WIRE_FORMATS:
+            raise TransportError(f"unknown wire format {wire!r}")
         self._pid = pid
         self._listen = listen
         self._peers = dict(peers)
@@ -95,6 +132,15 @@ class TcpMesh(Instrumented):
             None if ping_interval_ms is None else ping_interval_ms / 1000.0
         )
         self._on_rtt = on_rtt
+        self._wire = wire
+        self._encoder = FrameEncoder(wire=wire)
+        self._coalesce_bytes = coalesce_bytes
+        self._max_write_buffer = max_write_buffer_bytes
+        #: Per-peer staging buffers (bytes) and staged-frame counts; one
+        #: flush writes a peer's whole buffer in a single syscall.
+        self._staged: Dict[int, bytearray] = {}
+        self._staged_frames: Dict[int, int] = {}
+        self._flush_scheduled = False
         #: Latest measured round trip per peer (ms), ping-loop sampled.
         self.link_rtt_ms: Dict[int, float] = {}
         self._ping_task: Optional[asyncio.Task] = None
@@ -119,23 +165,40 @@ class TcpMesh(Instrumented):
 
     async def close(self) -> None:
         self._closed = True
+        tasks = list(self._dial_tasks.values())
         if self._ping_task is not None:
-            self._ping_task.cancel()
-        for task in self._dial_tasks.values():
+            tasks.append(self._ping_task)
+        for task in tasks:
             task.cancel()
+        # Await the cancelled tasks so teardown leaves no pending-task or
+        # "exception was never retrieved" noise behind.
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self.flush()
         for writer in self._writers.values():
             writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        self._writers.clear()
+        self._staged.clear()
+        self._staged_frames.clear()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
 
     def send(self, dst: int, payload: Any) -> None:
         """Best-effort send; messages to unconnected peers are dropped
-        (exactly like messages over a partitioned link)."""
+        (exactly like messages over a partitioned link).
+
+        The frame is *staged*, not written: a flush scheduled on the
+        current event-loop iteration (or an earlier size-threshold /
+        tick-boundary flush) writes every frame staged for ``dst`` in one
+        syscall. Per-peer FIFO is preserved — frames drain in stage order.
+        """
         writer = self._writers.get(dst)
         if writer is None and not self._obs.enabled:
             return
-        frame = encode_frame(self._pid, payload)
+        frame = self._encoder.encode(self._pid, payload)
         if self._obs.enabled:
             # Accounted even for unconnected peers — like SimNetwork, which
             # bills dropped messages to the sender too.
@@ -150,31 +213,103 @@ class TcpMesh(Instrumented):
             self._obs.counter("repro_messages_dropped_total", src=self._pid,
                               reason="disconnected").inc()
             return
+        staged = self._staged.get(dst)
+        if staged is None:
+            staged = self._staged[dst] = bytearray()
+            self._staged_frames[dst] = 0
+        transport = writer.transport
+        buffered = (transport.get_write_buffer_size()
+                    if transport is not None else 0)
+        if buffered + len(staged) + len(frame) > self._max_write_buffer:
+            # High-water mark: the peer is not draining (dead link the TCP
+            # stack has not yet detected, or a genuinely slow consumer).
+            # Dropping here is indistinguishable from a partition, which
+            # the protocols already recover from.
+            self._obs.counter("repro_messages_dropped_total", src=self._pid,
+                              reason="backpressure").inc()
+            return
+        staged += frame
+        self._staged_frames[dst] += 1
+        if len(staged) >= self._coalesce_bytes:
+            self._flush_peer(dst)
+        elif not self._flush_scheduled:
+            self._flush_scheduled = True
+            try:
+                asyncio.get_running_loop().call_soon(self._flush_soon)
+            except RuntimeError:
+                # No running loop (sync test harness): degrade to an
+                # immediate write so bare sends still go out.
+                self._flush_scheduled = False
+                self._flush_peer(dst)
+
+    def flush(self) -> None:
+        """Write out every staged frame now (one syscall per peer).
+
+        Called by ``RuntimeNode`` at each tick boundary, by the
+        size-threshold path, and by the scheduled per-iteration flush.
+        """
+        for dst in list(self._staged):
+            self._flush_peer(dst)
+
+    def _flush_soon(self) -> None:
+        self._flush_scheduled = False
+        self.flush()
+
+    def _flush_peer(self, dst: int) -> None:
+        staged = self._staged.get(dst)
+        if not staged:
+            return
+        frames = self._staged_frames.get(dst, 0)
+        self._staged[dst] = bytearray()
+        self._staged_frames[dst] = 0
+        writer = self._writers.get(dst)
+        if writer is None:
+            self._obs.counter("repro_messages_dropped_total", src=self._pid,
+                              reason="disconnected").inc(frames)
+            return
         try:
-            writer.write(frame)
+            writer.write(bytes(staged))
         except (ConnectionError, RuntimeError):
             self._writers.pop(dst, None)
             if self._obs.enabled:
                 self._obs.counter("repro_messages_dropped_total",
-                                  src=self._pid, reason="write_failed").inc()
+                                  src=self._pid,
+                                  reason="write_failed").inc(frames)
 
     @property
     def connected_peers(self) -> Tuple[int, ...]:
         return tuple(sorted(self._writers))
 
+    @property
+    def wire(self) -> str:
+        return self._wire
+
+    def get_write_buffer_size(self, dst: Optional[int] = None) -> int:
+        """Bytes queued toward ``dst`` (or all peers): asyncio write
+        buffer plus our staging buffer. ``RuntimeNode``'s pipelining
+        watermarks key off this."""
+        total = 0
+        writers = ([self._writers[dst]] if dst is not None
+                   and dst in self._writers else
+                   list(self._writers.values()) if dst is None else [])
+        for writer in writers:
+            transport = writer.transport
+            if transport is not None:
+                total += transport.get_write_buffer_size()
+        if dst is None:
+            total += sum(len(b) for b in self._staged.values())
+        else:
+            total += len(self._staged.get(dst, b""))
+        return total
+
     def queue_depths(self) -> Dict[str, int]:
         """Instantaneous transport backpressure for the profiler (see
         ``repro.obs.prof``): bytes sitting in kernel/asyncio write buffers
-        across all live peer connections, plus the reconnect backlog —
-        peers we should be connected to but aren't (each has a dial loop
-        backing off)."""
-        write_bytes = 0
-        for writer in self._writers.values():
-            transport = writer.transport
-            if transport is not None:
-                write_bytes += transport.get_write_buffer_size()
+        and coalescing staging buffers across all live peer connections,
+        plus the reconnect backlog — peers we should be connected to but
+        aren't (each has a dial loop backing off)."""
         return {
-            "tcp_write": write_bytes,
+            "tcp_write": self.get_write_buffer_size(),
             "tcp_reconnect": sum(1 for pid in self._peers
                                  if pid != self._pid
                                  and pid not in self._writers),
@@ -190,13 +325,33 @@ class TcpMesh(Instrumented):
                 data = await reader.read(64 * 1024)
                 if not data:
                     break
-                for src, payload in decoder.feed(data):
+                try:
+                    messages = decoder.feed(data)
+                except TransportError:
+                    # A corrupt or oversized frame poisons the whole
+                    # stream (framing offsets are gone): count it and
+                    # close this inbound connection cleanly instead of
+                    # letting the error escape as an unhandled task
+                    # exception. The peer's dial loop will reconnect.
+                    self._obs.counter("repro_messages_dropped_total",
+                                      src=self._pid,
+                                      reason="corrupt_frame").inc()
+                    break
+                for src, payload in messages:
                     if isinstance(payload, TransportPing):
                         self._answer_ping(src, payload)
                     elif isinstance(payload, TransportPong):
                         self._record_rtt(src, payload)
                     else:
                         self._on_message(src, payload)
+                if decoder.poisoned:
+                    # Good frames decoded ahead of the corruption in the
+                    # same read were delivered above; the stream past
+                    # this point is unframeable.
+                    self._obs.counter("repro_messages_dropped_total",
+                                      src=self._pid,
+                                      reason="corrupt_frame").inc()
+                    break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
@@ -204,22 +359,28 @@ class TcpMesh(Instrumented):
             pass
         finally:
             writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
 
     # -- RTT sampling --------------------------------------------------------
 
     def _answer_ping(self, src: int, ping: TransportPing) -> None:
         """Echo the probe back over our outbound connection to ``src``
-        (bypassing :meth:`send` so probes stay out of message counters)."""
+        (bypassing :meth:`send` so probes stay out of message counters
+        and ahead of staged traffic — RTT should measure the link, not
+        our coalescing buffer)."""
         peer_writer = self._writers.get(src)
         if peer_writer is None:
             return
         try:
-            peer_writer.write(encode_frame(self._pid, TransportPong(ping.sent_ms)))
+            peer_writer.write(
+                encode_frame(self._pid, TransportPong(ping.sent_ms),
+                             wire=self._wire))
         except (ConnectionError, RuntimeError):
             self._writers.pop(src, None)
 
     def _record_rtt(self, src: int, pong: TransportPong) -> None:
-        rtt_ms = asyncio.get_event_loop().time() * 1000.0 - pong.sent_ms
+        rtt_ms = asyncio.get_running_loop().time() * 1000.0 - pong.sent_ms
         self.link_rtt_ms[src] = rtt_ms
         if self._obs.enabled:
             self._obs.histogram("repro_link_rtt_ms", src=self._pid,
@@ -231,12 +392,15 @@ class TcpMesh(Instrumented):
         """Probe every connected peer each interval; pongs arrive on the
         inbound path and land in :attr:`link_rtt_ms`."""
         try:
+            loop = asyncio.get_running_loop()
             while not self._closed:
                 await asyncio.sleep(self._ping_interval)
-                now_ms = asyncio.get_event_loop().time() * 1000.0
+                now_ms = loop.time() * 1000.0
                 for pid, writer in list(self._writers.items()):
                     try:
-                        writer.write(encode_frame(self._pid, TransportPing(now_ms)))
+                        writer.write(
+                            encode_frame(self._pid, TransportPing(now_ms),
+                                         wire=self._wire))
                     except (ConnectionError, RuntimeError):
                         self._writers.pop(pid, None)
         except asyncio.CancelledError:
@@ -280,4 +444,12 @@ class TcpMesh(Instrumented):
             finally:
                 if self._writers.get(pid) is writer:
                     self._writers.pop(pid, None)
+                self._staged.pop(pid, None)
+                lost = self._staged_frames.pop(pid, 0)
+                if lost:
+                    self._obs.counter("repro_messages_dropped_total",
+                                      src=self._pid,
+                                      reason="disconnected").inc(lost)
                 writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()

@@ -24,9 +24,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Any, Dict
+from typing import Any, Dict, Tuple
 
-from repro.bench.macro import run_macro_suite
+from repro.bench.macro import run_macro_suite, run_runtime_suite
 from repro.bench.micro import run_micro_suite
 from repro.bench.runner import (
     BUDGETS,
@@ -37,29 +37,51 @@ from repro.bench.runner import (
     save_json,
 )
 
+SECTIONS = ("micro", "macro", "runtime")
 
-def _run_document(budget_name: str, seed: int,
-                  trace: bool = False) -> Dict[str, Any]:
+
+def _run_document(budget_name: str, seed: int, trace: bool = False,
+                  wire: str = "binary",
+                  sections: Tuple[str, ...] = SECTIONS) -> Dict[str, Any]:
     budget = BUDGETS[budget_name]
-    doc: Dict[str, Any] = {"meta": bench_meta(budget_name, seed)}
-    doc["micro"] = run_micro_suite(budget, seed=seed)
-    doc["macro"] = run_macro_suite(budget, seed=seed, trace=trace)
+    meta = bench_meta(budget_name, seed)
+    meta["wire"] = wire
+    doc: Dict[str, Any] = {"meta": meta}
+    if "micro" in sections:
+        doc["micro"] = run_micro_suite(budget, seed=seed)
+    if "macro" in sections:
+        doc["macro"] = run_macro_suite(budget, seed=seed, trace=trace)
+    if "runtime" in sections:
+        doc["runtime"] = run_runtime_suite(budget, seed=seed, wire=wire)
     return doc
 
 
 def _print_summary(doc: Dict[str, Any]) -> None:
-    for section in ("micro", "macro"):
+    for section in SECTIONS:
         for name, result in doc.get(section, {}).items():
-            line = (f"{section:>5s}  {name:<16s} "
+            line = (f"{section:>7s}  {name:<16s} "
                     f"{result['ops_per_sec']:>12,.0f} ops/s "
                     f"({result['wall_s']:.3f}s)")
             if "decided_per_virtual_s" in result:
                 line += f"  decided/s(virtual)={result['decided_per_virtual_s']:,.0f}"
+            if "wire" in result:
+                line += f"  wire={result['wire']}"
             print(line)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    doc = _run_document(args.budget, args.seed, trace=args.trace)
+    if getattr(args, "uvloop", False):
+        from repro.runtime import install_uvloop
+        print(f"uvloop: {'installed' if install_uvloop() else 'unavailable'}")
+    sections = (tuple(s.strip() for s in args.sections.split(","))
+                if args.sections else SECTIONS)
+    unknown = [s for s in sections if s not in SECTIONS]
+    if unknown:
+        print(f"unknown sections: {', '.join(unknown)} "
+              f"(choose from {', '.join(SECTIONS)})")
+        return 2
+    doc = _run_document(args.budget, args.seed, trace=args.trace,
+                        wire=args.wire, sections=sections)
     _print_summary(doc)
     if args.out:
         save_json(args.out, doc)
@@ -91,8 +113,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
             "before": before.get("meta", {}),
             "after": after.get("meta", {}),
         },
-        "before": {k: before[k] for k in ("micro", "macro") if k in before},
-        "after": {k: after[k] for k in ("micro", "macro") if k in after},
+        "before": {k: before[k] for k in SECTIONS if k in before},
+        "after": {k: after[k] for k in SECTIONS if k in after},
         "comparison": comparison,
     }
     for name, ratio in sorted(comparison["speedup"].items()):
@@ -158,13 +180,26 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="run the micro + macro suites")
+    run_p = sub.add_parser("run",
+                           help="run the micro + macro + runtime suites")
     run_p.add_argument("--out", default=None, help="write JSON document here")
     run_p.add_argument("--budget", choices=sorted(BUDGETS), default="default")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--trace", action="store_true",
                        help="enable causal tracing for the macro runs "
                             "(adds a per-phase commit breakdown; slower)")
+    run_p.add_argument("--wire", choices=("binary", "pickle"),
+                       default="binary",
+                       help="wire stack for the runtime benches: 'binary' "
+                            "is the full PR-9 path (binary codec, "
+                            "coalescing, pipelining), 'pickle' the legacy "
+                            "pre-PR-9 path")
+    run_p.add_argument("--sections", default=None,
+                       help="comma-separated subset of "
+                            f"{{{','.join(SECTIONS)}}} to run")
+    run_p.add_argument("--uvloop", action="store_true",
+                       help="install uvloop's loop policy first (no-op "
+                            "when the package is absent)")
     run_p.set_defaults(func=cmd_run)
 
     verify_p = sub.add_parser(

@@ -62,6 +62,24 @@ class TestMacroDeterminism:
         assert b["counters"]["events_processed"] > 0
 
 
+class TestRuntimeDigestIdentity:
+    def test_pickle_and_binary_wires_decide_identically(self):
+        """The runtime macro bench over real TCP must produce the same
+        decided-log digest on the legacy pickle stack and the full binary
+        stack — the wire format, coalescing, and pipelining change how
+        bytes move, never what the cluster decides."""
+        from repro.bench.macro import run_runtime_macro
+
+        a = run_runtime_macro("omni", wire="pickle", n_entries=100,
+                              payload_bytes=8, seed=3)
+        b = run_runtime_macro("omni", wire="binary", n_entries=100,
+                              payload_bytes=8, seed=3)
+        assert a["counters"]["decided_log_digest"] == \
+            b["counters"]["decided_log_digest"]
+        assert a["counters"] == b["counters"]
+        assert a["counters"]["decided_per_server"] >= 100
+
+
 class TestLogDigest:
     def test_order_sensitive(self):
         a, b = LogDigest(), LogDigest()

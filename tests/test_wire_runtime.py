@@ -1,0 +1,452 @@
+"""Runtime wire-path tests: coalescing, backpressure, corrupt-frame
+handling, clean teardown, and leader-side proposal pipelining."""
+
+import asyncio
+import socket
+import warnings
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.registry import MetricsRegistry
+from repro.omni.entry import Command
+from repro.omni.messages import COMPONENT_SP, Envelope, PrepareReq
+from repro.omni.server import ClusterConfig, OmniPaxosConfig, OmniPaxosServer
+from repro.runtime import (
+    PeerAddress,
+    PipelineConfig,
+    RuntimeNode,
+    TcpMesh,
+    install_uvloop,
+)
+from repro.runtime.codec import encode_frame
+
+
+def free_ports(count):
+    socks = [socket.socket() for _ in range(count)]
+    try:
+        for s in socks:
+            s.bind(("127.0.0.1", 0))
+            s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        return [s.getsockname()[1] for s in socks]
+    finally:
+        for s in socks:
+            s.close()
+
+
+def make_addrs(pids):
+    ports = free_ports(len(pids))
+    return {p: PeerAddress(p, "127.0.0.1", port)
+            for p, port in zip(pids, ports)}
+
+
+async def wait_for(predicate, timeout_s=15.0, interval_s=0.02):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout_s
+    while loop.time() < deadline:
+        value = predicate()
+        if value:
+            return value
+        await asyncio.sleep(interval_s)
+    raise AssertionError("condition not reached over TCP in time")
+
+
+class _StubTransport:
+    def __init__(self, buffered):
+        self.buffered = buffered
+
+    def get_write_buffer_size(self):
+        return self.buffered
+
+
+class _StubWriter:
+    """Looks enough like a StreamWriter for TcpMesh's send path."""
+
+    def __init__(self, buffered=0):
+        self.transport = _StubTransport(buffered)
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(bytes(data))
+
+    def close(self):
+        pass
+
+    async def wait_closed(self):
+        pass
+
+
+def _mesh(pid=1, peers=None, obs=None, **kwargs):
+    addrs = make_addrs([1, 2])
+    mesh = TcpMesh(pid, addrs[pid],
+                   peers if peers is not None
+                   else {q: a for q, a in addrs.items() if q != pid},
+                   on_message=lambda s, m: None, **kwargs)
+    if obs is not None:
+        mesh.set_observability(obs)
+    return mesh
+
+
+class TestBackpressure:
+    def test_send_drops_above_high_water_mark(self):
+        reg = MetricsRegistry()
+        mesh = _mesh(obs=reg, max_write_buffer_bytes=1024)
+        writer = _StubWriter(buffered=2048)  # already past the mark
+        mesh._writers[2] = writer
+        mesh.send(2, PrepareReq())
+        assert writer.chunks == []
+        assert reg.counter_value("repro_messages_dropped_total",
+                                 src=1, reason="backpressure") == 1
+        # Sent counters still billed, like SimNetwork's dropped sends.
+        assert reg.counter_value("repro_messages_sent_total",
+                                 src=1, kind="PrepareReq") == 1
+
+    def test_staged_bytes_count_toward_the_mark(self):
+        # Needs a running loop: without one, send degrades to write-now
+        # and the staging buffer never accumulates.
+        async def scenario():
+            reg = MetricsRegistry()
+            mesh = _mesh(obs=reg, max_write_buffer_bytes=200,
+                         coalesce_bytes=10_000)
+            mesh._writers[2] = _StubWriter(buffered=0)
+            for i in range(100):
+                mesh.send(2, Command(data=b"x" * 32, client_id=1, seq=i))
+            dropped = reg.counter_value("repro_messages_dropped_total",
+                                        src=1, reason="backpressure")
+            assert dropped > 0
+            assert len(mesh._staged[2]) <= 200
+
+        asyncio.run(scenario())
+
+    def test_below_mark_nothing_dropped(self):
+        reg = MetricsRegistry()
+        mesh = _mesh(obs=reg)
+        writer = _StubWriter()
+        mesh._writers[2] = writer
+        mesh.send(2, PrepareReq())
+        mesh.flush()
+        assert len(writer.chunks) == 1
+        assert reg.counter_value("repro_messages_dropped_total",
+                                 src=1, reason="backpressure") == 0
+
+
+class TestCoalescing:
+    def test_many_sends_one_write(self):
+        async def scenario():
+            mesh = _mesh()
+            writer = _StubWriter()
+            mesh._writers[2] = writer
+            for i in range(50):
+                mesh.send(2, Command(data=b"x", client_id=1, seq=i))
+            assert writer.chunks == []  # staged, nothing written yet
+            mesh.flush()
+            assert len(writer.chunks) == 1  # one syscall for all 50
+            from repro.runtime.codec import FrameDecoder
+            frames = FrameDecoder().feed(writer.chunks[0])
+            assert len(frames) == 50
+            assert [p.seq for _, p in frames] == list(range(50))  # FIFO
+
+        asyncio.run(scenario())
+
+    def test_size_threshold_flushes_immediately(self):
+        mesh = _mesh(coalesce_bytes=64)
+        writer = _StubWriter()
+        mesh._writers[2] = writer
+        mesh.send(2, Command(data=b"x" * 100, client_id=1, seq=0))
+        assert len(writer.chunks) == 1  # exceeded threshold: flushed now
+
+    def test_scheduled_flush_inside_event_loop(self):
+        async def scenario():
+            mesh = _mesh()
+            writer = _StubWriter()
+            mesh._writers[2] = writer
+            mesh.send(2, PrepareReq())
+            assert writer.chunks == []
+            await asyncio.sleep(0)  # let the call_soon flush run
+            return writer.chunks
+
+        chunks = asyncio.run(scenario())
+        assert len(chunks) == 1
+
+    def test_coalesced_frames_deliver_over_real_tcp(self):
+        async def scenario():
+            addrs = make_addrs([1, 2])
+            inbox = []
+            a = TcpMesh(1, addrs[1], {2: addrs[2]},
+                        on_message=lambda s, m: None)
+            b = TcpMesh(2, addrs[2], {1: addrs[1]},
+                        on_message=lambda s, m: inbox.append((s, m)))
+            await a.start()
+            await b.start()
+            try:
+                await wait_for(lambda: 2 in a.connected_peers)
+                for i in range(200):
+                    a.send(2, Command(data=b"y", client_id=1, seq=i))
+                a.flush()
+                await wait_for(lambda: len(inbox) == 200)
+            finally:
+                await a.close()
+                await b.close()
+            return inbox
+
+        inbox = asyncio.run(scenario())
+        assert [m.seq for _, m in inbox] == list(range(200))
+
+    def test_mixed_wire_cluster_interoperates(self):
+        # A binary node and a legacy pickle node on one mesh: inbound
+        # auto-detects per frame, so both directions deliver.
+        async def scenario():
+            addrs = make_addrs([1, 2])
+            inbox_a, inbox_b = [], []
+            a = TcpMesh(1, addrs[1], {2: addrs[2]},
+                        on_message=lambda s, m: inbox_a.append(m),
+                        wire="binary")
+            b = TcpMesh(2, addrs[2], {1: addrs[1]},
+                        on_message=lambda s, m: inbox_b.append(m),
+                        wire="pickle")
+            await a.start()
+            await b.start()
+            try:
+                await wait_for(lambda: 2 in a.connected_peers
+                               and 1 in b.connected_peers)
+                a.send(2, Command(data=b"bin", client_id=1, seq=1))
+                b.send(1, Command(data=b"pkl", client_id=2, seq=2))
+                a.flush()
+                b.flush()
+                await wait_for(lambda: inbox_a and inbox_b)
+            finally:
+                await a.close()
+                await b.close()
+            return inbox_a, inbox_b
+
+        inbox_a, inbox_b = asyncio.run(scenario())
+        assert inbox_a[0].data == b"pkl"
+        assert inbox_b[0].data == b"bin"
+
+
+class TestCorruptFrames:
+    def test_corrupt_frame_closes_connection_with_counter(self):
+        async def scenario():
+            addrs = make_addrs([1, 2])
+            reg = MetricsRegistry()
+            inbox = []
+            b = TcpMesh(2, addrs[2], {}, on_message=lambda s, m:
+                        inbox.append(m))
+            b.set_observability(reg)
+            await b.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", addrs[2].port)
+                # A valid frame, then unframeable garbage.
+                writer.write(encode_frame(1, PrepareReq()))
+                writer.write(b"\xff\xff\xff\xff garbage")
+                await writer.drain()
+                await wait_for(lambda: reg.counter_value(
+                    "repro_messages_dropped_total",
+                    src=2, reason="corrupt_frame") == 1)
+                # The receiver closed the poisoned connection cleanly.
+                data = await asyncio.wait_for(reader.read(), timeout=5.0)
+                assert data == b""
+                writer.close()
+            finally:
+                await b.close()
+            return inbox
+
+        inbox = asyncio.run(scenario())
+        assert inbox == [PrepareReq()]  # the good frame still delivered
+
+    def test_unhandled_task_exceptions_absent(self):
+        # The regression this PR fixes: TransportError escaping
+        # _handle_inbound surfaced via the loop exception handler.
+        async def scenario():
+            failures = []
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, ctx: failures.append(ctx))
+            addrs = make_addrs([1, 2])
+            b = TcpMesh(2, addrs[2], {}, on_message=lambda s, m: None)
+            await b.start()
+            _reader, writer = await asyncio.open_connection(
+                "127.0.0.1", addrs[2].port)
+            writer.write(b"\xff\xff\xff\xffgarbage")
+            await writer.drain()
+            await asyncio.sleep(0.2)
+            writer.close()
+            await b.close()
+            # Give any pending task-exception callbacks a chance to fire.
+            await asyncio.sleep(0.1)
+            return failures
+
+        assert asyncio.run(scenario()) == []
+
+
+class TestTeardown:
+    def test_close_leaves_no_pending_tasks(self):
+        async def scenario():
+            addrs = make_addrs([1, 2])
+            mesh = TcpMesh(1, addrs[1], {2: addrs[2]},
+                           on_message=lambda s, m: None,
+                           ping_interval_ms=20.0)
+            await mesh.start()
+            await asyncio.sleep(0.1)
+            await mesh.close()
+            others = [t for t in asyncio.all_tasks()
+                      if t is not asyncio.current_task() and not t.done()]
+            return others
+
+        assert asyncio.run(scenario()) == []
+
+    def test_close_emits_no_resource_warnings(self):
+        async def scenario():
+            addrs = make_addrs([1, 2])
+            a = TcpMesh(1, addrs[1], {2: addrs[2]},
+                        on_message=lambda s, m: None)
+            b = TcpMesh(2, addrs[2], {1: addrs[1]},
+                        on_message=lambda s, m: None)
+            await a.start()
+            await b.start()
+            await wait_for(lambda: 2 in a.connected_peers)
+            a.send(2, PrepareReq())
+            await a.close()
+            await b.close()
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            asyncio.run(scenario())
+
+
+class TestPipelining:
+    def _build(self, pipeline_for_all=None, on_decided=None):
+        cc = ClusterConfig(0, (1, 2, 3))
+        addrs = make_addrs(list(cc.servers))
+        nodes = {}
+        for p in cc.servers:
+            server = OmniPaxosServer(OmniPaxosConfig(
+                pid=p, cluster=cc, hb_period_ms=40.0, initial_leader=1))
+            handler = on_decided(p) if on_decided else (lambda i, e: None)
+            nodes[p] = RuntimeNode(
+                server, addrs[p],
+                {q: a for q, a in addrs.items() if q != p},
+                tick_ms=5.0,
+                on_decided=handler,
+                pipeline=pipeline_for_all,
+            )
+        return nodes
+
+    def test_pipeline_requires_decided_handler(self):
+        addrs = make_addrs([1, 2])
+        cc = ClusterConfig(0, (1, 2))
+        server = OmniPaxosServer(OmniPaxosConfig(pid=1, cluster=cc))
+        with pytest.raises(ConfigError):
+            RuntimeNode(server, addrs[1], {2: addrs[2]},
+                        pipeline=PipelineConfig())
+
+    def test_pipelined_proposals_all_decide(self):
+        async def scenario():
+            decided = {1: [], 2: [], 3: []}
+
+            def handler(pid):
+                return lambda idx, entry: decided[pid].append((idx, entry))
+
+            cfg = PipelineConfig(inflight_high=64, inflight_low=16,
+                                 max_batch=16)
+            nodes = self._build(pipeline_for_all=cfg, on_decided=handler)
+            for node in nodes.values():
+                await node.start()
+            try:
+                await wait_for(lambda: all(
+                    n.leader_pid == 1 for n in nodes.values()))
+                entries = [Command(data=b"p", client_id=1, seq=i)
+                           for i in range(500)]
+                nodes[1].propose_batch(entries)
+                # Admission is watermark-bounded, not all-at-once.
+                assert nodes[1].inflight_proposals <= 64
+                await wait_for(lambda: all(
+                    len(d) == 500 for d in decided.values()))
+            finally:
+                for node in nodes.values():
+                    await node.stop()
+            return decided
+
+        decided = asyncio.run(scenario())
+        for pid in (1, 2, 3):
+            assert [e.seq for _, e in decided[pid]] == list(range(500))
+        assert decided[1] == decided[2] == decided[3]
+
+    def test_window_chokes_then_drains(self):
+        async def scenario():
+            decided = {1: 0, 2: 0, 3: 0}
+
+            def handler(pid):
+                def on_decided(idx, entry):
+                    decided[pid] += 1
+                return on_decided
+
+            cfg = PipelineConfig(inflight_high=8, inflight_low=2,
+                                 max_batch=4)
+            nodes = self._build(pipeline_for_all=cfg, on_decided=handler)
+            for node in nodes.values():
+                await node.start()
+            try:
+                await wait_for(lambda: all(
+                    n.leader_pid == 1 for n in nodes.values()))
+                leader = nodes[1]
+                leader.propose_batch(
+                    [Command(data=b"c", client_id=1, seq=i)
+                     for i in range(40)])
+                # Tiny window: most entries must still be queued in the
+                # node, in-flight capped at the high watermark.
+                assert leader.inflight_proposals <= 8
+                assert leader.pending_proposals >= 32
+                assert leader.status()["pipeline"]["choked"] is True
+                await wait_for(lambda: all(c == 40
+                                           for c in decided.values()))
+            finally:
+                for node in nodes.values():
+                    await node.stop()
+            return decided
+
+        assert set(asyncio.run(scenario()).values()) == {40}
+
+    def test_pending_and_inflight_drain_to_zero(self):
+        async def scenario():
+            counts = {1: 0, 2: 0, 3: 0}
+
+            def handler(pid):
+                def on_decided(idx, entry):
+                    counts[pid] += 1
+                return on_decided
+
+            cfg = PipelineConfig(inflight_high=32, inflight_low=8,
+                                 max_batch=8)
+            nodes = self._build(pipeline_for_all=cfg, on_decided=handler)
+            for node in nodes.values():
+                await node.start()
+            try:
+                await wait_for(lambda: all(
+                    n.leader_pid == 1 for n in nodes.values()))
+                nodes[1].propose_batch(
+                    [Command(data=b"d", client_id=1, seq=i)
+                     for i in range(100)])
+                await wait_for(lambda: all(c == 100
+                                           for c in counts.values()))
+                await wait_for(lambda: nodes[1].pending_proposals == 0
+                               and nodes[1].inflight_proposals == 0)
+                status = nodes[1].status()
+                assert status["pipeline"]["pending"] == 0
+                assert status["pipeline"]["choked"] is False
+                assert status["wire"] == "binary"
+            finally:
+                for node in nodes.values():
+                    await node.stop()
+
+        asyncio.run(scenario())
+
+
+class TestUvloop:
+    def test_install_uvloop_is_gated(self):
+        # The container has no uvloop: the helper must report False and
+        # leave the default policy working.
+        result = install_uvloop()
+        assert result in (True, False)
+        if not result:
+            asyncio.run(asyncio.sleep(0))  # policy still functional
